@@ -1,0 +1,192 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddContainsRemove(t *testing.T) {
+	s := New(200)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 199} {
+		if s.Contains(i) {
+			t.Fatalf("fresh set contains %d", i)
+		}
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Fatalf("Add(%d) not visible", i)
+		}
+		s.Remove(i)
+		if s.Contains(i) {
+			t.Fatalf("Remove(%d) not visible", i)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	s := New(1000)
+	if s.Count() != 0 {
+		t.Fatal("fresh set has nonzero count")
+	}
+	for i := 0; i < 1000; i += 7 {
+		s.Add(i)
+	}
+	want := 0
+	for i := 0; i < 1000; i += 7 {
+		want++
+	}
+	if got := s.Count(); got != want {
+		t.Fatalf("Count = %d, want %d", got, want)
+	}
+	// Adding a duplicate must not change the count.
+	s.Add(0)
+	if got := s.Count(); got != want {
+		t.Fatalf("Count after duplicate Add = %d, want %d", got, want)
+	}
+}
+
+func TestClearAndClearList(t *testing.T) {
+	s := New(256)
+	members := []int32{3, 64, 100, 255}
+	for _, i := range members {
+		s.Add(int(i))
+	}
+	s.ClearList(members)
+	if s.Count() != 0 {
+		t.Fatal("ClearList left bits set")
+	}
+	for _, i := range members {
+		s.Add(int(i))
+	}
+	s.Clear()
+	if s.Count() != 0 {
+		t.Fatal("Clear left bits set")
+	}
+}
+
+func TestForEachOrderAndEarlyStop(t *testing.T) {
+	s := New(300)
+	want := []int{2, 63, 64, 150, 299}
+	for _, i := range want {
+		s.Add(i)
+	}
+	var got []int
+	s.ForEach(func(i int) bool { got = append(got, i); return true })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d bits, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order: got %v, want %v", got, want)
+		}
+	}
+	visits := 0
+	s.ForEach(func(i int) bool { visits++; return visits < 2 })
+	if visits != 2 {
+		t.Fatalf("early stop visited %d bits, want 2", visits)
+	}
+}
+
+func TestUnionIntersect(t *testing.T) {
+	a, b := New(128), New(128)
+	a.Add(1)
+	a.Add(70)
+	b.Add(70)
+	b.Add(99)
+	u := a.Clone()
+	u.Union(b)
+	for _, i := range []int{1, 70, 99} {
+		if !u.Contains(i) {
+			t.Fatalf("union missing %d", i)
+		}
+	}
+	in := a.Clone()
+	in.Intersect(b)
+	if !in.Contains(70) || in.Count() != 1 {
+		t.Fatalf("intersection wrong: count=%d", in.Count())
+	}
+}
+
+func TestUnionCapacityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Union with mismatched capacity did not panic")
+		}
+	}()
+	New(64).Union(New(128))
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	a := New(64)
+	a.Add(5)
+	c := a.Clone()
+	c.Add(6)
+	if a.Contains(6) {
+		t.Fatal("mutation of clone visible in original")
+	}
+	if !c.Contains(5) {
+		t.Fatal("clone lost original bit")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := New(100), New(100)
+	a.Add(42)
+	if a.Equal(b) {
+		t.Fatal("unequal sets reported equal")
+	}
+	b.Add(42)
+	if !a.Equal(b) {
+		t.Fatal("equal sets reported unequal")
+	}
+	if a.Equal(New(101)) {
+		t.Fatal("sets of different capacity reported equal")
+	}
+}
+
+func TestNegativeCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+// Property: a Set agrees with a map[int]bool model under a random op
+// sequence.
+func TestQuickAgainstMapModel(t *testing.T) {
+	f := func(ops []uint16) bool {
+		s := New(512)
+		model := map[int]bool{}
+		for _, op := range ops {
+			i := int(op % 512)
+			switch (op / 512) % 3 {
+			case 0:
+				s.Add(i)
+				model[i] = true
+			case 1:
+				s.Remove(i)
+				delete(model, i)
+			case 2:
+				if s.Contains(i) != model[i] {
+					return false
+				}
+			}
+		}
+		if s.Count() != len(model) {
+			return false
+		}
+		ok := true
+		s.ForEach(func(i int) bool {
+			if !model[i] {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

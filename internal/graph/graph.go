@@ -1,0 +1,312 @@
+// Package graph implements the social-graph substrate of WASO: a compact
+// CSR (compressed sparse row) adjacency structure carrying one interest
+// score η_i per node and a pair of directed social-tightness scores
+// (τ_{i,j}, τ_{j,i}) per undirected edge.
+//
+// The paper's willingness objective (Eq. 1)
+//
+//	W(F) = Σ_{v_i∈F} ( η_i + Σ_{v_j∈F : e_{i,j}∈E} τ_{i,j} )
+//
+// sums τ in both directions because tightness is not necessarily symmetric
+// (§2.1). To make the marginal gain ΔW(v | S) computable in a single
+// O(deg v) scan, each endpoint's adjacency entry stores both the outgoing
+// weight τ_{i,j} and the incoming weight τ_{j,i}.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NodeID identifies a node; nodes are dense integers in [0, N).
+type NodeID = int32
+
+// Graph is an immutable social graph. Construct with a Builder.
+type Graph struct {
+	interest []float64 // η per node
+	off      []int64   // CSR offsets, len N+1
+	nbr      []NodeID  // neighbor ids, sorted per node
+	wOut     []float64 // τ_{i, nbr[p]} for p in [off[i], off[i+1])
+	wIn      []float64 // τ_{nbr[p], i}
+}
+
+// N returns the node count.
+func (g *Graph) N() int { return len(g.interest) }
+
+// M returns the undirected edge count.
+func (g *Graph) M() int { return len(g.nbr) / 2 }
+
+// Interest returns η_i.
+func (g *Graph) Interest(i NodeID) float64 { return g.interest[i] }
+
+// Degree returns the number of neighbors of i.
+func (g *Graph) Degree(i NodeID) int { return int(g.off[i+1] - g.off[i]) }
+
+// AvgDegree returns 2M/N, the mean undirected degree.
+func (g *Graph) AvgDegree() float64 {
+	if g.N() == 0 {
+		return 0
+	}
+	return float64(len(g.nbr)) / float64(g.N())
+}
+
+// Neighbors returns the sorted neighbor ids of i. The returned slice aliases
+// internal storage and must not be modified.
+func (g *Graph) Neighbors(i NodeID) []NodeID {
+	return g.nbr[g.off[i]:g.off[i+1]]
+}
+
+// Edges returns parallel slices (neighbors, τ_out, τ_in) for node i, where
+// τ_out[p] = τ_{i, nbrs[p]} and τ_in[p] = τ_{nbrs[p], i}. The slices alias
+// internal storage.
+func (g *Graph) Edges(i NodeID) (nbrs []NodeID, tauOut, tauIn []float64) {
+	lo, hi := g.off[i], g.off[i+1]
+	return g.nbr[lo:hi], g.wOut[lo:hi], g.wIn[lo:hi]
+}
+
+// Tau returns (τ_{i,j}, τ_{j,i}, true) if the edge {i,j} exists.
+func (g *Graph) Tau(i, j NodeID) (out, in float64, ok bool) {
+	lo, hi := g.off[i], g.off[i+1]
+	nbrs := g.nbr[lo:hi]
+	p := sort.Search(len(nbrs), func(p int) bool { return nbrs[p] >= j })
+	if p < len(nbrs) && nbrs[p] == j {
+		return g.wOut[lo+int64(p)], g.wIn[lo+int64(p)], true
+	}
+	return 0, 0, false
+}
+
+// HasEdge reports whether {i, j} is an edge.
+func (g *Graph) HasEdge(i, j NodeID) bool {
+	_, _, ok := g.Tau(i, j)
+	return ok
+}
+
+// NodeScore returns η_i + Σ_{j∈N(i)} (τ_{i,j} + τ_{j,i}), the sum CBAS
+// phase 1 ranks start-node candidates by ("adds the interest score and the
+// social tightness scores of incident edges", §3.1).
+func (g *Graph) NodeScore(i NodeID) float64 {
+	s := g.interest[i]
+	for p := g.off[i]; p < g.off[i+1]; p++ {
+		s += g.wOut[p] + g.wIn[p]
+	}
+	return s
+}
+
+// Willingness computes W(set) per Eq. 1. Duplicate ids in set are an error
+// in the caller; behaviour is undefined. O(Σ_{v∈set} deg v).
+func (g *Graph) Willingness(set []NodeID) float64 {
+	if len(set) == 0 {
+		return 0
+	}
+	in := make(map[NodeID]struct{}, len(set))
+	for _, v := range set {
+		in[v] = struct{}{}
+	}
+	w := 0.0
+	for _, v := range set {
+		w += g.interest[v]
+		nbrs, tauOut, _ := g.Edges(v)
+		for p, u := range nbrs {
+			if _, ok := in[u]; ok {
+				w += tauOut[p]
+			}
+		}
+	}
+	return w
+}
+
+// WillingnessDelta returns ΔW(v | S) = η_v + Σ_{u∈S∩N(v)} (τ_{v,u} + τ_{u,v}),
+// the willingness increase from adding v to a set S identified by inSet.
+// O(deg v).
+func (g *Graph) WillingnessDelta(v NodeID, inSet func(NodeID) bool) float64 {
+	d := g.interest[v]
+	nbrs, tauOut, tauIn := g.Edges(v)
+	for p, u := range nbrs {
+		if inSet(u) {
+			d += tauOut[p] + tauIn[p]
+		}
+	}
+	return d
+}
+
+// Connected reports whether the subgraph induced by set is connected.
+// The empty set is connected by convention.
+func (g *Graph) Connected(set []NodeID) bool {
+	if len(set) <= 1 {
+		return true
+	}
+	in := make(map[NodeID]struct{}, len(set))
+	for _, v := range set {
+		in[v] = struct{}{}
+	}
+	seen := map[NodeID]struct{}{set[0]: {}}
+	queue := []NodeID{set[0]}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Neighbors(v) {
+			if _, member := in[u]; !member {
+				continue
+			}
+			if _, vis := seen[u]; vis {
+				continue
+			}
+			seen[u] = struct{}{}
+			queue = append(queue, u)
+		}
+	}
+	return len(seen) == len(set)
+}
+
+// ComponentOf returns the ids of the connected component containing v, in
+// BFS order.
+func (g *Graph) ComponentOf(v NodeID) []NodeID {
+	seen := map[NodeID]struct{}{v: {}}
+	out := []NodeID{v}
+	for head := 0; head < len(out); head++ {
+		for _, u := range g.Neighbors(out[head]) {
+			if _, vis := seen[u]; vis {
+				continue
+			}
+			seen[u] = struct{}{}
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// LargestComponent returns the node ids of the largest connected component.
+func (g *Graph) LargestComponent() []NodeID {
+	visited := make([]bool, g.N())
+	var best []NodeID
+	for v := NodeID(0); int(v) < g.N(); v++ {
+		if visited[v] {
+			continue
+		}
+		comp := g.ComponentOf(v)
+		for _, u := range comp {
+			visited[u] = true
+		}
+		if len(comp) > len(best) {
+			best = comp
+		}
+	}
+	return best
+}
+
+// TotalWillingness returns W(V): Σ η_i + Σ over all directed τ. Used by the
+// WASO-dis virtual-node transform (§2.2), whose virtual interest score is
+// ε + TotalWillingness.
+func (g *Graph) TotalWillingness() float64 {
+	w := 0.0
+	for _, eta := range g.interest {
+		w += eta
+	}
+	for _, t := range g.wOut {
+		w += t
+	}
+	return w
+}
+
+// Subgraph returns the graph induced on keep (deduplicated), along with the
+// mapping newID -> oldID. Node p in the result corresponds to mapping[p] in
+// g. Scores are carried over.
+func (g *Graph) Subgraph(keep []NodeID) (*Graph, []NodeID) {
+	uniq := append([]NodeID(nil), keep...)
+	sort.Slice(uniq, func(a, b int) bool { return uniq[a] < uniq[b] })
+	uniq = dedupe(uniq)
+	remap := make(map[NodeID]NodeID, len(uniq))
+	for newID, oldID := range uniq {
+		remap[oldID] = NodeID(newID)
+	}
+	b := NewBuilder(len(uniq))
+	for newID, oldID := range uniq {
+		b.SetInterest(NodeID(newID), g.interest[oldID])
+	}
+	for newID, oldID := range uniq {
+		nbrs, tauOut, tauIn := g.Edges(oldID)
+		for p, u := range nbrs {
+			nu, ok := remap[u]
+			if !ok || u < oldID {
+				continue // keep each undirected edge once
+			}
+			b.AddEdge(NodeID(newID), nu, tauOut[p], tauIn[p])
+		}
+	}
+	sub, err := b.Build()
+	if err != nil {
+		panic("graph: Subgraph rebuild failed: " + err.Error()) // unreachable: inputs come from a valid graph
+	}
+	return sub, uniq
+}
+
+// WithoutNodes returns a copy of g with the given nodes (and their incident
+// edges) removed, plus the newID->oldID mapping. Used by online
+// recomputation when invitees decline (§4.4.1).
+func (g *Graph) WithoutNodes(drop []NodeID) (*Graph, []NodeID) {
+	dropSet := make(map[NodeID]struct{}, len(drop))
+	for _, v := range drop {
+		dropSet[v] = struct{}{}
+	}
+	keep := make([]NodeID, 0, g.N()-len(dropSet))
+	for v := NodeID(0); int(v) < g.N(); v++ {
+		if _, d := dropSet[v]; !d {
+			keep = append(keep, v)
+		}
+	}
+	return g.Subgraph(keep)
+}
+
+// Validate checks structural invariants: sorted unique adjacency, symmetric
+// edge presence, mirrored weights, finite scores. Intended for tests and
+// for data loaded from external files.
+func (g *Graph) Validate() error {
+	n := NodeID(g.N())
+	if len(g.off) != g.N()+1 || g.off[0] != 0 || g.off[g.N()] != int64(len(g.nbr)) {
+		return fmt.Errorf("graph: malformed offsets")
+	}
+	if len(g.wOut) != len(g.nbr) || len(g.wIn) != len(g.nbr) {
+		return fmt.Errorf("graph: weight arrays mismatch adjacency")
+	}
+	for _, eta := range g.interest {
+		if math.IsNaN(eta) || math.IsInf(eta, 0) {
+			return fmt.Errorf("graph: non-finite interest score")
+		}
+	}
+	for i := NodeID(0); i < n; i++ {
+		nbrs, tauOut, tauIn := g.Edges(i)
+		for p, u := range nbrs {
+			if u < 0 || u >= n {
+				return fmt.Errorf("graph: neighbor %d of node %d out of range", u, i)
+			}
+			if u == i {
+				return fmt.Errorf("graph: self-loop at node %d", i)
+			}
+			if p > 0 && nbrs[p-1] >= u {
+				return fmt.Errorf("graph: adjacency of node %d not sorted/unique", i)
+			}
+			if math.IsNaN(tauOut[p]) || math.IsInf(tauOut[p], 0) || math.IsNaN(tauIn[p]) || math.IsInf(tauIn[p], 0) {
+				return fmt.Errorf("graph: non-finite tightness on edge {%d,%d}", i, u)
+			}
+			ro, ri, ok := g.Tau(u, i)
+			if !ok {
+				return fmt.Errorf("graph: edge {%d,%d} not mirrored", i, u)
+			}
+			if ro != tauIn[p] || ri != tauOut[p] {
+				return fmt.Errorf("graph: weights of edge {%d,%d} not mirrored", i, u)
+			}
+		}
+	}
+	return nil
+}
+
+func dedupe(sorted []NodeID) []NodeID {
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

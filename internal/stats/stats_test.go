@@ -1,0 +1,246 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almostEq(Mean(xs), 5) {
+		t.Errorf("Mean = %v, want 5", Mean(xs))
+	}
+	if !almostEq(Variance(xs), 4) {
+		t.Errorf("Variance = %v, want 4", Variance(xs))
+	}
+	if !almostEq(StdDev(xs), 2) {
+		t.Errorf("StdDev = %v, want 2", StdDev(xs))
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || Median(nil) != 0 {
+		t.Error("empty-slice statistics should be 0")
+	}
+	if Variance([]float64{5}) != 0 {
+		t.Error("singleton variance should be 0")
+	}
+	if !almostEq(Median([]float64{5}), 5) {
+		t.Error("singleton median")
+	}
+}
+
+func TestMedianPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if !almostEq(Median(xs), 2.5) {
+		t.Errorf("Median = %v, want 2.5", Median(xs))
+	}
+	if !almostEq(Percentile(xs, 0), 1) || !almostEq(Percentile(xs, 100), 4) {
+		t.Error("percentile endpoints wrong")
+	}
+	if !almostEq(Percentile(xs, 25), 1.75) {
+		t.Errorf("P25 = %v, want 1.75", Percentile(xs, 25))
+	}
+	// Percentile must not mutate its input.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 0})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = (%v, %v)", lo, hi)
+	}
+	lo, hi = MinMax(nil)
+	if lo != 0 || hi != 0 {
+		t.Error("empty MinMax should be (0,0)")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if !almostEq(GeoMean([]float64{1, 4, 16}), 4) {
+		t.Errorf("GeoMean = %v, want 4", GeoMean([]float64{1, 4, 16}))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("GeoMean with nonpositive input did not panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 0.1, 0.5, 0.9, 1.0}
+	bs := Histogram(xs, 2)
+	if len(bs) != 2 {
+		t.Fatalf("bucket count = %d", len(bs))
+	}
+	if bs[0].Count != 3 || bs[1].Count != 2 {
+		t.Errorf("counts = %d,%d want 3,2", bs[0].Count, bs[1].Count)
+	}
+	total := 0
+	for _, b := range bs {
+		total += b.Count
+	}
+	if total != len(xs) {
+		t.Errorf("histogram dropped values: %d != %d", total, len(xs))
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	if Histogram(nil, 3) != nil {
+		t.Error("empty histogram should be nil")
+	}
+	if Histogram([]float64{1}, 0) != nil {
+		t.Error("zero buckets should be nil")
+	}
+	bs := Histogram([]float64{2, 2, 2}, 4)
+	if len(bs) != 1 || bs[0].Count != 3 {
+		t.Errorf("constant-data histogram = %+v", bs)
+	}
+}
+
+func TestHistogramFixed(t *testing.T) {
+	bs := HistogramFixed([]float64{0.4, 0.45, 0.5, 0.62, 0.7}, []float64{0.37, 0.45, 0.5, 0.55, 0.6, 0.66})
+	if len(bs) != 5 {
+		t.Fatalf("bucket count = %d", len(bs))
+	}
+	counts := []int{1, 1, 1, 0, 1} // 0.7 dropped (outside), 0.62 in [0.6,0.66]
+	for i, want := range counts {
+		if bs[i].Count != want {
+			t.Errorf("bucket %d count = %d, want %d", i, bs[i].Count, want)
+		}
+	}
+}
+
+func TestHistogramFixedClosedLastEdge(t *testing.T) {
+	bs := HistogramFixed([]float64{1.0}, []float64{0, 0.5, 1.0})
+	if bs[1].Count != 1 {
+		t.Error("value equal to final edge must land in last bucket")
+	}
+}
+
+func TestPearsonR(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if !almostEq(PearsonR(xs, ys), 1) {
+		t.Errorf("perfect correlation = %v", PearsonR(xs, ys))
+	}
+	neg := []float64{8, 6, 4, 2}
+	if !almostEq(PearsonR(xs, neg), -1) {
+		t.Errorf("perfect anticorrelation = %v", PearsonR(xs, neg))
+	}
+	if PearsonR(xs, []float64{5, 5, 5, 5}) != 0 {
+		t.Error("zero-variance side should give 0")
+	}
+	if PearsonR(xs, []float64{1}) != 0 {
+		t.Error("mismatched lengths should give 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Fig X", "k", "quality", "algo")
+	tb.AddRow(10, 123.4567, "CBAS-ND")
+	tb.AddRow(20, 2.0, "DGreedy")
+	var sb strings.Builder
+	if err := tb.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"== Fig X ==", "k", "quality", "algo", "123.4567", "CBAS-ND", "DGreedy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("x,y", `say "hi"`)
+	var sb strings.Builder
+	if err := tb.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:        "3",
+		3.14159:  "3.1416",
+		1e7:      "1.000e+07",
+		0.000001: "1.000e-06",
+		0:        "0",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if FormatFloat(math.NaN()) != "NaN" {
+		t.Error("NaN formatting")
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		lo, hi := MinMax(xs)
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			v := Percentile(xs, p)
+			if v < prev || v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: histogram conserves mass for finite inputs.
+func TestQuickHistogramMass(t *testing.T) {
+	f := func(raw []float64, nb uint8) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		n := int(nb%20) + 1
+		bs := Histogram(xs, n)
+		total := 0
+		for _, b := range bs {
+			total += b.Count
+		}
+		return total == len(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
