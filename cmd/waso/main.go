@@ -1,0 +1,240 @@
+// Command waso runs the paper's experiment loop end to end: generate (or
+// regenerate per seed) a synthetic social network, run the selected WASO
+// solvers, and print a stats.Table comparing solution quality and runtime —
+// the same rows the paper's figures report.
+//
+// Example:
+//
+//	waso -gen powerlaw -n 1000 -k 10 -algo all
+//	waso -gen er -n 5000 -avgdeg 12 -k 20 -algo cbas,cbasnd -seeds 10 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"waso/internal/core"
+	"waso/internal/gen"
+	"waso/internal/graph"
+	"waso/internal/solver"
+	"waso/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "waso:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	genKind string
+	n       int
+	avgDeg  float64
+	k       int
+	algos   string
+	seeds   int
+	seed    uint64
+	samples int
+	starts  int
+	workers int
+	alpha   float64
+	sampler string
+	noPrune bool
+	csv     bool
+	verbose bool
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("waso", flag.ContinueOnError)
+	cfg := config{}
+	fs.StringVar(&cfg.genKind, "gen", "powerlaw", "graph generator: powerlaw (preferential attachment) or er (Erdős–Rényi)")
+	fs.IntVar(&cfg.n, "n", 1000, "node count")
+	fs.Float64Var(&cfg.avgDeg, "avgdeg", 8, "target average degree")
+	fs.IntVar(&cfg.k, "k", 10, "maximum group size k")
+	fs.StringVar(&cfg.algos, "algo", "all", "comma-separated solvers ("+strings.Join(solver.Names(), ",")+") or all")
+	fs.IntVar(&cfg.seeds, "seeds", 5, "number of instance seeds to average over")
+	fs.Uint64Var(&cfg.seed, "seed", 1, "base seed; instance i uses seed+i")
+	fs.IntVar(&cfg.samples, "samples", solver.DefaultSamples, "random samples per start node")
+	fs.IntVar(&cfg.starts, "starts", solver.DefaultStarts, "start nodes per solver run")
+	fs.IntVar(&cfg.workers, "workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	fs.Float64Var(&cfg.alpha, "alpha", solver.DefaultAlpha, "CBASND adapted-probability exponent")
+	fs.StringVar(&cfg.sampler, "sampler", "auto", "CBASND weighted sampler: auto, linear or fenwick")
+	fs.BoolVar(&cfg.noPrune, "noprune", false, "disable the CBAS/CBASND pruning bound")
+	fs.BoolVar(&cfg.csv, "csv", false, "emit CSV instead of an aligned table")
+	fs.BoolVar(&cfg.verbose, "v", false, "print per-seed solutions")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
+		return err
+	}
+
+	params := core.Params{K: cfg.k, Seed: cfg.seed, Samples: cfg.samples, Workers: cfg.workers}
+	if err := params.Validate(); err != nil {
+		return err
+	}
+	// solver.Options treats Samples/Starts ≤ 0 as "use the default", so
+	// reject values the options cannot faithfully express.
+	if cfg.samples < 1 {
+		return fmt.Errorf("-samples must be ≥ 1, got %d", cfg.samples)
+	}
+	if cfg.starts < 1 {
+		return fmt.Errorf("-starts must be ≥ 1, got %d", cfg.starts)
+	}
+	if cfg.seeds < 1 {
+		return fmt.Errorf("-seeds must be ≥ 1, got %d", cfg.seeds)
+	}
+	solvers, err := selectSolvers(cfg.algos)
+	if err != nil {
+		return err
+	}
+	samplerKind, err := parseSampler(cfg.sampler)
+	if err != nil {
+		return err
+	}
+	opts := solver.FromParams(params)
+	opts.Starts = cfg.starts
+	opts.Alpha = cfg.alpha
+	opts.DisablePrune = cfg.noPrune
+	opts.Sampler = samplerKind
+
+	type algoStats struct {
+		will, millis []float64
+		samples      int64
+		pruned       int64
+	}
+	acc := make(map[string]*algoStats, len(solvers))
+	for _, s := range solvers {
+		acc[s.Name()] = &algoStats{}
+	}
+
+	for i := 0; i < cfg.seeds; i++ {
+		instanceSeed := cfg.seed + uint64(i)
+		g, err := generate(cfg, instanceSeed)
+		if err != nil {
+			return err
+		}
+		if cfg.verbose {
+			fmt.Fprintf(out, "# seed %d: n=%d m=%d avgdeg=%.2f\n", instanceSeed, g.N(), g.M(), g.AvgDegree())
+		}
+		for _, s := range solvers {
+			o := opts
+			o.Seed = instanceSeed
+			res, err := s.Solve(g, cfg.k, o)
+			if err != nil {
+				return fmt.Errorf("%s on seed %d: %w", s.Name(), instanceSeed, err)
+			}
+			if err := check(g, cfg.k, res); err != nil {
+				return fmt.Errorf("%s on seed %d: %w", s.Name(), instanceSeed, err)
+			}
+			a := acc[s.Name()]
+			a.will = append(a.will, res.Best.Willingness)
+			a.millis = append(a.millis, float64(res.Elapsed.Microseconds())/1000)
+			a.samples += res.SamplesDrawn
+			a.pruned += res.Pruned
+			if cfg.verbose {
+				fmt.Fprintf(out, "#   %-8s %v (%.2fms, %d/%d samples pruned)\n",
+					s.Name(), res.Best, float64(res.Elapsed.Microseconds())/1000, res.Pruned, res.SamplesDrawn)
+			}
+		}
+	}
+
+	title := fmt.Sprintf("WASO %s n=%d k=%d avgdeg=%g seeds=%d samples=%d starts=%d",
+		cfg.genKind, cfg.n, cfg.k, cfg.avgDeg, cfg.seeds, cfg.samples, cfg.starts)
+	t := stats.NewTable(title,
+		"algo", "meanW", "stdW", "minW", "maxW", "mean_ms", "samples", "pruned")
+	for _, s := range solvers {
+		a := acc[s.Name()]
+		lo, hi := stats.MinMax(a.will)
+		t.AddRow(s.Name(), stats.Mean(a.will), stats.StdDev(a.will), lo, hi,
+			stats.Mean(a.millis), a.samples, a.pruned)
+	}
+	if cfg.csv {
+		return t.CSV(out)
+	}
+	return t.Fprint(out)
+}
+
+// generate builds one instance for the given seed.
+func generate(cfg config, seed uint64) (*graph.Graph, error) {
+	sc := gen.DefaultScores()
+	switch cfg.genKind {
+	case "powerlaw", "pl", "ba":
+		m := int(cfg.avgDeg / 2)
+		if m < 1 {
+			m = 1
+		}
+		return gen.PreferentialAttachment(cfg.n, m, sc, seed)
+	case "er", "gnp":
+		p := 0.0
+		if cfg.n > 1 {
+			p = cfg.avgDeg / float64(cfg.n-1)
+		}
+		if p > 1 {
+			p = 1
+		}
+		return gen.ErdosRenyi(cfg.n, p, sc, seed)
+	default:
+		return nil, fmt.Errorf("unknown generator %q (want powerlaw or er)", cfg.genKind)
+	}
+}
+
+// check enforces the solution invariants every solver promises: a
+// non-empty connected group of at most k nodes whose stored willingness
+// matches a from-scratch recomputation.
+func check(g *graph.Graph, k int, res solver.Result) error {
+	sol := res.Best
+	if sol.Size() == 0 || sol.Size() > k {
+		return fmt.Errorf("solution size %d outside (0, %d]", sol.Size(), k)
+	}
+	if !g.Connected(sol.Nodes) {
+		return fmt.Errorf("solution %v is not connected", sol.Nodes)
+	}
+	if w := g.Willingness(sol.Nodes); !closeEnough(w, sol.Willingness) {
+		return fmt.Errorf("stored willingness %.6f != recomputed %.6f", sol.Willingness, w)
+	}
+	return nil
+}
+
+func closeEnough(a, b float64) bool {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := 1.0
+	if a > scale {
+		scale = a
+	}
+	return diff <= 1e-6*scale
+}
+
+func selectSolvers(spec string) ([]solver.Solver, error) {
+	if spec == "" || spec == "all" {
+		return solver.All(), nil
+	}
+	var out []solver.Solver
+	for _, name := range strings.Split(spec, ",") {
+		s, err := solver.New(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func parseSampler(s string) (solver.SamplerKind, error) {
+	switch s {
+	case "auto", "":
+		return solver.SamplerAuto, nil
+	case "linear":
+		return solver.SamplerLinear, nil
+	case "fenwick":
+		return solver.SamplerFenwick, nil
+	default:
+		return 0, fmt.Errorf("unknown sampler %q (want auto, linear or fenwick)", s)
+	}
+}

@@ -1,0 +1,11 @@
+// Package waso is the root of a Go reproduction of "Willingness
+// Optimization for Social Group Activity" (PVLDB 2013).
+//
+// The executable experiment harness lives in cmd/waso; the library layers
+// are under internal/: graph (CSR social graph, Eq. 1 willingness), gen
+// (synthetic instance generators, §5), solver (DGreedy, RGreedy, CBAS,
+// CBAS-ND, §3), and the sampling/rng/bitset/stats substrate they share.
+//
+// This root package carries no code — only repo-level documentation and
+// cross-package benchmarks such as BenchmarkSamplerCrossover.
+package waso

@@ -1,0 +1,3 @@
+module waso
+
+go 1.22

@@ -1,1 +1,95 @@
+// Package core holds the small shared vocabulary of the WASO system: the
+// experiment parameters every component agrees on and the Solution value
+// that solvers produce and the harness consumes. Keeping these here (rather
+// than in solver) lets future subsystems — serving, sharding, caching —
+// exchange solutions without importing solver internals.
 package core
+
+import (
+	"fmt"
+	"sort"
+
+	"waso/internal/graph"
+)
+
+// Params bundles the knobs shared by every WASO run: the group-size bound k
+// of Eq. 1, the root seed all randomness derives from, the per-start sample
+// budget of the randomized solvers, and the worker-pool width.
+type Params struct {
+	K       int    // maximum group size (k in Eq. 1); must be ≥ 1
+	Seed    uint64 // root seed; all sub-streams derive from it
+	Samples int    // random samples per start node (randomized solvers)
+	Workers int    // parallel workers; ≤ 0 means GOMAXPROCS
+}
+
+// Validate reports the first invalid field, if any.
+func (p Params) Validate() error {
+	if p.K < 1 {
+		return fmt.Errorf("core: K must be ≥ 1, got %d", p.K)
+	}
+	if p.Samples < 0 {
+		return fmt.Errorf("core: Samples must be ≥ 0, got %d", p.Samples)
+	}
+	return nil
+}
+
+// Solution is a candidate activity group: the attendee set F and its
+// willingness W(F) per Eq. 1. Nodes are kept in canonical (ascending) order
+// so solutions compare and hash deterministically.
+type Solution struct {
+	Nodes       []graph.NodeID
+	Willingness float64
+}
+
+// NewSolution copies nodes into canonical order and attaches the given
+// willingness.
+func NewSolution(nodes []graph.NodeID, w float64) Solution {
+	out := append([]graph.NodeID(nil), nodes...)
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return Solution{Nodes: out, Willingness: w}
+}
+
+// Size returns |F|.
+func (s Solution) Size() int { return len(s.Nodes) }
+
+// Clone returns a deep copy.
+func (s Solution) Clone() Solution {
+	return Solution{Nodes: append([]graph.NodeID(nil), s.Nodes...), Willingness: s.Willingness}
+}
+
+// Better reports whether s strictly dominates o for incumbent selection:
+// higher willingness wins; on exact ties the lexicographically smaller node
+// set wins, which keeps multi-start reduction order-independent.
+func (s Solution) Better(o Solution) bool {
+	if s.Willingness != o.Willingness {
+		return s.Willingness > o.Willingness
+	}
+	return s.less(o)
+}
+
+func (s Solution) less(o Solution) bool {
+	for i := 0; i < len(s.Nodes) && i < len(o.Nodes); i++ {
+		if s.Nodes[i] != o.Nodes[i] {
+			return s.Nodes[i] < o.Nodes[i]
+		}
+	}
+	return len(s.Nodes) < len(o.Nodes)
+}
+
+// Equal reports whether both solutions contain the same node set.
+func (s Solution) Equal(o Solution) bool {
+	if len(s.Nodes) != len(o.Nodes) {
+		return false
+	}
+	for i := range s.Nodes {
+		if s.Nodes[i] != o.Nodes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders "W=12.34 F={1 5 9}" for logs and test failures.
+func (s Solution) String() string {
+	return fmt.Sprintf("W=%.4f F=%v", s.Willingness, s.Nodes)
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"waso/internal/graph"
+)
+
+func TestParamsValidate(t *testing.T) {
+	if err := (Params{K: 5, Samples: 10}).Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	if err := (Params{K: 0}).Validate(); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if err := (Params{K: 1, Samples: -1}).Validate(); err == nil {
+		t.Error("negative Samples accepted")
+	}
+}
+
+func TestNewSolutionCanonical(t *testing.T) {
+	s := NewSolution([]graph.NodeID{5, 1, 3}, 2.5)
+	want := []graph.NodeID{1, 3, 5}
+	for i, v := range want {
+		if s.Nodes[i] != v {
+			t.Fatalf("Nodes = %v, want %v", s.Nodes, want)
+		}
+	}
+	if s.Size() != 3 || s.Willingness != 2.5 {
+		t.Errorf("Size=%d W=%v", s.Size(), s.Willingness)
+	}
+}
+
+func TestBetter(t *testing.T) {
+	hi := NewSolution([]graph.NodeID{1, 2}, 3)
+	lo := NewSolution([]graph.NodeID{0, 1}, 2)
+	if !hi.Better(lo) || lo.Better(hi) {
+		t.Error("higher willingness must dominate")
+	}
+	// Ties break to the lexicographically smaller node set.
+	a := NewSolution([]graph.NodeID{0, 3}, 2)
+	b := NewSolution([]graph.NodeID{1, 2}, 2)
+	if !a.Better(b) || b.Better(a) {
+		t.Error("tie must break to the smaller node set")
+	}
+	if a.Better(a) {
+		t.Error("Better must be irreflexive")
+	}
+}
+
+func TestEqualClone(t *testing.T) {
+	a := NewSolution([]graph.NodeID{2, 4}, 1)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Error("clone not equal")
+	}
+	b.Nodes[0] = 3
+	if a.Equal(b) || a.Nodes[0] == 3 {
+		t.Error("clone shares storage with the original")
+	}
+	if a.Equal(NewSolution([]graph.NodeID{2}, 1)) {
+		t.Error("different sizes compare equal")
+	}
+}

@@ -1,0 +1,250 @@
+// Package gen produces the synthetic social networks the paper evaluates
+// on (§5): Erdős–Rényi random graphs and power-law graphs grown by
+// preferential attachment, with interest scores η and social-tightness
+// scores τ drawn from configurable distributions (the paper uses a
+// power law with exponent 2.5 for η, following Clauset et al.).
+//
+// All randomness derives from rng sub-streams labelled by role (structure,
+// interest, tightness), so a generated instance is fully reproducible from
+// (parameters, seed) and the η/τ draws are independent of the edge
+// structure.
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"waso/internal/graph"
+	"waso/internal/rng"
+)
+
+// Sub-stream labels for seed derivation.
+const (
+	streamStructure = iota
+	streamInterest
+	streamTightness
+)
+
+// DistKind enumerates the supported score distributions.
+type DistKind int
+
+const (
+	// DistConst always yields A.
+	DistConst DistKind = iota
+	// DistUniform yields uniform values in [A, B).
+	DistUniform
+	// DistPowerLaw yields Pareto values with density ∝ x^(−A) for x ≥ B.
+	DistPowerLaw
+	// DistNormal yields Gaussian values with mean A and stddev B,
+	// truncated to be non-negative (scores are non-negative).
+	DistNormal
+)
+
+// Dist is a score distribution: a kind plus its two parameters.
+type Dist struct {
+	Kind DistKind
+	A, B float64
+}
+
+// Const returns the distribution that always yields v.
+func Const(v float64) Dist { return Dist{Kind: DistConst, A: v} }
+
+// Uniform returns the uniform distribution on [lo, hi).
+func Uniform(lo, hi float64) Dist { return Dist{Kind: DistUniform, A: lo, B: hi} }
+
+// PowerLaw returns the Pareto distribution with exponent beta and minimum
+// xmin — the paper's η distribution is PowerLaw(2.5, xmin).
+func PowerLaw(beta, xmin float64) Dist { return Dist{Kind: DistPowerLaw, A: beta, B: xmin} }
+
+// Normal returns the zero-truncated Gaussian with the given mean and
+// standard deviation.
+func Normal(mu, sigma float64) Dist { return Dist{Kind: DistNormal, A: mu, B: sigma} }
+
+// Sample draws one value from d.
+func (d Dist) Sample(r *rng.Stream) float64 {
+	switch d.Kind {
+	case DistUniform:
+		return d.A + r.Float64()*(d.B-d.A)
+	case DistPowerLaw:
+		return r.PowerLaw(d.A, d.B)
+	case DistNormal:
+		return r.TruncNormal(d.A, d.B, 0, d.A+6*d.B)
+	default:
+		return d.A
+	}
+}
+
+func (d Dist) String() string {
+	switch d.Kind {
+	case DistUniform:
+		return fmt.Sprintf("U[%g,%g)", d.A, d.B)
+	case DistPowerLaw:
+		return fmt.Sprintf("PL(β=%g,xmin=%g)", d.A, d.B)
+	case DistNormal:
+		return fmt.Sprintf("N(%g,%g)", d.A, d.B)
+	default:
+		return fmt.Sprintf("const %g", d.A)
+	}
+}
+
+// Scores bundles the η and τ distributions of an instance.
+type Scores struct {
+	Eta Dist // interest score η_i per node
+	Tau Dist // tightness score τ_{i,j} per directed edge side
+}
+
+// DefaultScores matches the paper's synthetic setup: power-law interest
+// (exponent 2.5) and uniform tightness in [0, 1).
+func DefaultScores() Scores {
+	return Scores{Eta: PowerLaw(2.5, 0.1), Tau: Uniform(0, 1)}
+}
+
+// sampleEta assigns every node an interest score from sc.Eta.
+func sampleEta(b *graph.Builder, sc Scores, root *rng.Stream) {
+	eta := root.Split(streamInterest)
+	for i := 0; i < b.N(); i++ {
+		b.SetInterest(graph.NodeID(i), sc.Eta.Sample(eta))
+	}
+}
+
+// ErdosRenyi generates G(n, p): each of the n·(n−1)/2 node pairs is an
+// edge independently with probability p. Pair enumeration uses geometric
+// skipping, so generation costs O(n + m) rather than O(n²).
+func ErdosRenyi(n int, p float64, sc Scores, seed uint64) (*graph.Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("gen: ErdosRenyi with negative n %d", n)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("gen: ErdosRenyi probability %g outside [0,1]", p)
+	}
+	root := rng.New(seed)
+	b := graph.NewBuilder(n)
+	sampleEta(b, sc, root)
+	if p > 0 && n > 1 {
+		structure := root.Split(streamStructure)
+		tau := root.Split(streamTightness)
+		cur := pairCursor{n: n, i: 0, j: 0} // j ≤ i means "before row i's first pair"
+		for cur.advance(geometric(structure, p)) {
+			b.AddEdge(graph.NodeID(cur.i), graph.NodeID(cur.j),
+				sc.Tau.Sample(tau), sc.Tau.Sample(tau))
+		}
+	}
+	return b.Build()
+}
+
+// geometric draws a jump length ≥ 1 with P(len = ℓ) = p·(1−p)^(ℓ−1), the
+// gap between successive successes of a Bernoulli(p) sequence.
+func geometric(r *rng.Stream, p float64) int64 {
+	if p >= 1 {
+		return 1
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	g := math.Floor(math.Log(u) / math.Log(1-p))
+	if g > 1e18 {
+		return 1 << 60
+	}
+	return 1 + int64(g)
+}
+
+// pairCursor walks the pairs (i, j), i < j < n, in row-major order,
+// supporting multi-step advances. Its zero position (0, 0) sits just
+// before the first pair (0, 1).
+type pairCursor struct {
+	n    int
+	i, j int
+}
+
+// advance moves the cursor forward by steps pairs; it reports false once
+// the cursor walks off the final pair.
+func (c *pairCursor) advance(steps int64) bool {
+	for steps > 0 {
+		if c.i >= c.n-1 {
+			return false
+		}
+		left := int64(c.n - 1 - c.j) // pairs remaining in row i after column j
+		if steps <= left {
+			c.j += int(steps)
+			return true
+		}
+		steps -= left
+		c.i++
+		c.j = c.i
+	}
+	return true
+}
+
+// PreferentialAttachment generates a Barabási–Albert power-law graph: it
+// seeds a ring of m+1 nodes, then attaches each new node to m distinct
+// existing nodes chosen with probability proportional to their degree.
+// The resulting degree distribution follows a power law, matching the
+// paper's "power-law graphs generated by [2]" setup.
+func PreferentialAttachment(n, m int, sc Scores, seed uint64) (*graph.Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("gen: PreferentialAttachment with negative n %d", n)
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("gen: PreferentialAttachment requires m ≥ 1, got %d", m)
+	}
+	root := rng.New(seed)
+	b := graph.NewBuilder(n)
+	sampleEta(b, sc, root)
+	structure := root.Split(streamStructure)
+	tau := root.Split(streamTightness)
+	addEdge := func(i, j graph.NodeID) {
+		b.AddEdge(i, j, sc.Tau.Sample(tau), sc.Tau.Sample(tau))
+	}
+
+	m0 := m + 1
+	if m0 > n {
+		m0 = n
+	}
+	// endpoints lists every edge endpoint once; drawing a uniform element
+	// selects a node with probability ∝ degree.
+	endpoints := make([]graph.NodeID, 0, 2*m*n)
+	for v := 1; v < m0; v++ {
+		u := graph.NodeID(v - 1)
+		addEdge(u, graph.NodeID(v))
+		endpoints = append(endpoints, u, graph.NodeID(v))
+	}
+	if m0 > 2 { // close the seed ring so every seed node starts at degree 2
+		addEdge(graph.NodeID(m0-1), 0)
+		endpoints = append(endpoints, graph.NodeID(m0-1), 0)
+	}
+
+	chosen := make(map[graph.NodeID]struct{}, m)
+	for v := m0; v < n; v++ { // v ≥ m0 = m+1, so m distinct targets always exist
+		clear(chosen)
+		targets := m
+		for len(chosen) < targets {
+			u := endpoints[structure.IntN(len(endpoints))]
+			if _, dup := chosen[u]; dup {
+				continue
+			}
+			chosen[u] = struct{}{}
+		}
+		// Attach in ascending target order so the τ draw sequence is a
+		// deterministic function of the chosen set, not of map iteration.
+		ordered := make([]graph.NodeID, 0, targets)
+		for u := range chosen {
+			ordered = append(ordered, u)
+		}
+		sortNodeIDs(ordered)
+		for _, u := range ordered {
+			addEdge(graph.NodeID(v), u)
+			endpoints = append(endpoints, graph.NodeID(v), u)
+		}
+	}
+	return b.Build()
+}
+
+// sortNodeIDs sorts ids ascending (insertion sort — len is at most m).
+func sortNodeIDs(ids []graph.NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

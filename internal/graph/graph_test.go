@@ -1,0 +1,205 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+// buildRef constructs the reference fixture used across tests:
+//
+//	η = [1 2 3 4 5]
+//	edges: {0,1} τ=(0.5,0.25)  {1,2} τ=(1,2)  {0,2} τ=(0.1,0.2)  {3,4} τ=(0.3,0.7)
+//
+// Components: {0,1,2} and {3,4}.
+func buildRef(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(5)
+	for i, eta := range []float64{1, 2, 3, 4, 5} {
+		b.SetInterest(NodeID(i), eta)
+	}
+	b.AddEdge(0, 1, 0.5, 0.25)
+	b.AddEdge(1, 2, 1, 2)
+	b.AddEdge(0, 2, 0.1, 0.2)
+	b.AddEdge(3, 4, 0.3, 0.7)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return g
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestWillingness(t *testing.T) {
+	g := buildRef(t)
+	cases := []struct {
+		set  []NodeID
+		want float64
+	}{
+		{nil, 0},
+		{[]NodeID{2}, 3},
+		{[]NodeID{0, 1}, 1 + 2 + 0.5 + 0.25},
+		{[]NodeID{0, 1, 2}, 6 + 0.75 + 3 + 0.3},
+		{[]NodeID{3, 4}, 9 + 1},
+		{[]NodeID{0, 3}, 5}, // no internal edge
+	}
+	for _, c := range cases {
+		if got := g.Willingness(c.set); !almost(got, c.want) {
+			t.Errorf("Willingness(%v) = %v, want %v", c.set, got, c.want)
+		}
+	}
+}
+
+func TestWillingnessDelta(t *testing.T) {
+	g := buildRef(t)
+	in01 := func(u NodeID) bool { return u == 0 || u == 1 }
+	// ΔW(2 | {0,1}) must close the gap between W({0,1}) and W({0,1,2}).
+	want := g.Willingness([]NodeID{0, 1, 2}) - g.Willingness([]NodeID{0, 1})
+	if got := g.WillingnessDelta(2, in01); !almost(got, want) {
+		t.Errorf("WillingnessDelta(2|{0,1}) = %v, want %v", got, want)
+	}
+	// Against the empty set the delta is just η.
+	if got := g.WillingnessDelta(4, func(NodeID) bool { return false }); !almost(got, 5) {
+		t.Errorf("WillingnessDelta(4|{}) = %v, want 5", got)
+	}
+}
+
+func TestNodeScoreAndTotal(t *testing.T) {
+	g := buildRef(t)
+	if got := g.NodeScore(1); !almost(got, 2+0.75+3) {
+		t.Errorf("NodeScore(1) = %v, want 5.75", got)
+	}
+	if got := g.TotalWillingness(); !almost(got, 15+5.05) {
+		t.Errorf("TotalWillingness = %v, want 20.05", got)
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g := buildRef(t)
+	cases := []struct {
+		set  []NodeID
+		want bool
+	}{
+		{nil, true},
+		{[]NodeID{3}, true},
+		{[]NodeID{0, 1, 2}, true},
+		{[]NodeID{0, 2}, true},
+		{[]NodeID{3, 4}, true},
+		{[]NodeID{0, 3}, false},
+		{[]NodeID{0, 1, 4}, false},
+	}
+	for _, c := range cases {
+		if got := g.Connected(c.set); got != c.want {
+			t.Errorf("Connected(%v) = %v, want %v", c.set, got, c.want)
+		}
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := buildRef(t)
+	sub, mapping := g.Subgraph([]NodeID{4, 0, 2, 0}) // duplicates collapse
+	if err := sub.Validate(); err != nil {
+		t.Fatalf("sub.Validate: %v", err)
+	}
+	wantMap := []NodeID{0, 2, 4}
+	if len(mapping) != len(wantMap) {
+		t.Fatalf("mapping = %v, want %v", mapping, wantMap)
+	}
+	for i, v := range wantMap {
+		if mapping[i] != v {
+			t.Fatalf("mapping = %v, want %v", mapping, wantMap)
+		}
+	}
+	if sub.N() != 3 || sub.M() != 1 {
+		t.Fatalf("sub has N=%d M=%d, want N=3 M=1", sub.N(), sub.M())
+	}
+	for i, want := range []float64{1, 3, 5} {
+		if got := sub.Interest(NodeID(i)); !almost(got, want) {
+			t.Errorf("sub.Interest(%d) = %v, want %v", i, got, want)
+		}
+	}
+	out, in, ok := sub.Tau(0, 1) // old edge {0,2}
+	if !ok || !almost(out, 0.1) || !almost(in, 0.2) {
+		t.Errorf("sub.Tau(0,1) = (%v,%v,%v), want (0.1,0.2,true)", out, in, ok)
+	}
+	if sub.Degree(2) != 0 {
+		t.Errorf("old node 4 should be isolated in sub, degree %d", sub.Degree(2))
+	}
+}
+
+func TestBuilderDuplicateEdgeMerging(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1, 0.5, 0.25)
+	b.AddEdge(1, 0, 0.75, 1.5) // reversed orientation: τ_{1,0} += 0.75, τ_{0,1} += 1.5
+	b.AddArc(0, 1, 0.5)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if g.M() != 1 {
+		t.Fatalf("M = %d, want 1 (duplicates must merge)", g.M())
+	}
+	out, in, ok := g.Tau(0, 1)
+	if !ok || !almost(out, 0.5+1.5+0.5) || !almost(in, 0.25+0.75) {
+		t.Errorf("Tau(0,1) = (%v,%v,%v), want (2.5,1,true)", out, in, ok)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(0, 0, 1, 1) // self-loop
+	if _, err := b.Build(); err == nil {
+		t.Error("Build accepted a self-loop")
+	}
+	b = NewBuilder(2)
+	b.AddEdge(0, 5, 1, 1) // out of range
+	if _, err := b.Build(); err == nil {
+		t.Error("Build accepted an out-of-range edge")
+	}
+	b = NewBuilder(2)
+	b.SetInterest(0, math.NaN())
+	if _, err := b.Build(); err == nil {
+		t.Error("Build accepted a NaN interest score")
+	}
+}
+
+func TestWithoutNodes(t *testing.T) {
+	g := buildRef(t)
+	sub, mapping := g.WithoutNodes([]NodeID{1})
+	if sub.N() != 4 {
+		t.Fatalf("N = %d, want 4", sub.N())
+	}
+	for _, old := range mapping {
+		if old == 1 {
+			t.Fatalf("dropped node 1 still present in mapping %v", mapping)
+		}
+	}
+	// {0,2} edge survives; 0 and 2 are now ids 0 and 1.
+	if !sub.HasEdge(0, 1) {
+		t.Error("edge {0,2} lost by WithoutNodes")
+	}
+	if err := sub.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	g := buildRef(t)
+	comp := g.LargestComponent()
+	if len(comp) != 3 {
+		t.Fatalf("largest component size %d, want 3", len(comp))
+	}
+	seen := map[NodeID]bool{}
+	for _, v := range comp {
+		seen[v] = true
+	}
+	if !seen[0] || !seen[1] || !seen[2] {
+		t.Errorf("largest component = %v, want {0,1,2}", comp)
+	}
+}

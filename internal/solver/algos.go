@@ -1,0 +1,110 @@
+package solver
+
+import (
+	"math"
+
+	"waso/internal/core"
+	"waso/internal/graph"
+	"waso/internal/rng"
+)
+
+// DGreedy is the deterministic baseline: from each start node it repeatedly
+// adds the frontier node with the largest marginal willingness gain ΔW(v|S)
+// until the group reaches k, then keeps the best start. Entirely
+// deterministic — Seed and Samples are ignored.
+type DGreedy struct{}
+
+// Name implements Solver.
+func (DGreedy) Name() string { return "dgreedy" }
+
+// Solve implements Solver.
+func (DGreedy) Solve(g *graph.Graph, k int, opts Options) (Result, error) {
+	return multiStart("dgreedy", g, k, opts,
+		func(ws *workspace, start graph.NodeID, _ int, _ *rng.Stream, _ Options) startOutcome {
+			ws.growGreedy(start)
+			return startOutcome{sol: ws.snapshot()}
+		})
+}
+
+// RGreedy is the randomized baseline: each growth step draws a frontier
+// node with probability proportional to the willingness of the resulting
+// group, W(S ∪ {v}); the best of Options.Samples groups per start wins.
+type RGreedy struct{}
+
+// Name implements Solver.
+func (RGreedy) Name() string { return "rgreedy" }
+
+// Solve implements Solver.
+func (RGreedy) Solve(g *graph.Graph, k int, opts Options) (Result, error) {
+	return multiStart("rgreedy", g, k, opts,
+		func(ws *workspace, start graph.NodeID, startIdx int, root *rng.Stream, o Options) startOutcome {
+			oc := startOutcome{sol: core.Solution{Willingness: math.Inf(-1)}}
+			for s := 0; s < o.Samples; s++ {
+				r := root.SplitN(uint64(startIdx), uint64(s))
+				oc.samples++
+				ws.growWeighted(start, r, weightGroup, 0, false)
+				if ws.will > oc.sol.Willingness {
+					oc.sol = ws.snapshot()
+				}
+			}
+			return oc
+		})
+}
+
+// CBAS is the paper's uniform community-based adaptive sampling (§3.1):
+// start nodes come from the NodeScore ranking (phase 1); each sample grows
+// a connected group by drawing frontier nodes uniformly at random (phase
+// 2), abandoning samples whose upper bound W(S) + (k−|S|)·maxNS cannot
+// beat the incumbent. The incumbent is seeded with the deterministic
+// greedy completion from the start node.
+type CBAS struct{}
+
+// Name implements Solver.
+func (CBAS) Name() string { return "cbas" }
+
+// Solve implements Solver.
+func (CBAS) Solve(g *graph.Graph, k int, opts Options) (Result, error) {
+	return multiStart("cbas", g, k, opts, cbasStart(false))
+}
+
+// CBASND is CBAS with non-uniform adapted probabilities (§3.2): frontier
+// nodes are drawn with P(v) ∝ ΔW(v|S)^α, concentrating samples on
+// high-gain extensions. α (Options.Alpha) interpolates between uniform-ish
+// exploration (α→0) and greedy exploitation (α→∞).
+type CBASND struct{}
+
+// Name implements Solver.
+func (CBASND) Name() string { return "cbasnd" }
+
+// Solve implements Solver.
+func (CBASND) Solve(g *graph.Graph, k int, opts Options) (Result, error) {
+	return multiStart("cbasnd", g, k, opts, cbasStart(true))
+}
+
+// cbasStart builds the per-start search shared by CBAS (uniform draws) and
+// CBASND (adapted-probability draws).
+func cbasStart(nonuniform bool) startRunner {
+	return func(ws *workspace, start graph.NodeID, startIdx int, root *rng.Stream, o Options) startOutcome {
+		ws.growGreedy(start)
+		oc := startOutcome{sol: ws.snapshot()}
+		prune := !o.DisablePrune
+		for s := 0; s < o.Samples; s++ {
+			r := root.SplitN(uint64(startIdx), uint64(s))
+			oc.samples++
+			var abandoned bool
+			if nonuniform {
+				abandoned = ws.growWeighted(start, r, weightDeltaPow, oc.sol.Willingness, prune)
+			} else {
+				abandoned = ws.growUniform(start, r, oc.sol.Willingness, prune)
+			}
+			if abandoned {
+				oc.pruned++
+				continue
+			}
+			if ws.will > oc.sol.Willingness {
+				oc.sol = ws.snapshot()
+			}
+		}
+		return oc
+	}
+}

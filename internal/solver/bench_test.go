@@ -1,0 +1,64 @@
+package solver
+
+import (
+	"testing"
+
+	"waso/internal/gen"
+	"waso/internal/graph"
+	"waso/internal/rng"
+)
+
+func benchGraph(b *testing.B, n int) *graph.Graph {
+	b.Helper()
+	g, err := gen.PreferentialAttachment(n, 4, gen.DefaultScores(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkSolvers times one full Solve per iteration on a 1k-node
+// power-law instance (k=10, 50 samples per start, single worker so the
+// numbers measure algorithmic cost, not parallel speedup).
+func BenchmarkSolvers(b *testing.B) {
+	g := benchGraph(b, 1000)
+	for _, s := range All() {
+		b.Run(s.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Solve(g, 10, Options{Samples: 50, Seed: uint64(i), Workers: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGrowth isolates one sample growth (the inner loop of every
+// randomized solver) without the multi-start scaffolding.
+func BenchmarkGrowth(b *testing.B) {
+	g := benchGraph(b, 1000)
+	start := PickStarts(g, 1)[0]
+	for _, mode := range []string{"uniform", "weighted-linear", "weighted-fenwick", "greedy"} {
+		b.Run(mode, func(b *testing.B) {
+			opts := Options{Alpha: 2}
+			if mode == "weighted-fenwick" {
+				opts.Sampler = SamplerFenwick
+			} else {
+				opts.Sampler = SamplerLinear
+			}
+			ws := newWorkspace(g, 10, opts.withDefaults(), topScoreSums(nodeScores(g), 10))
+			root := rng.New(7)
+			for i := 0; i < b.N; i++ {
+				r := root.SplitN(0, uint64(i))
+				switch mode {
+				case "uniform":
+					ws.growUniform(start, r, 0, false)
+				case "greedy":
+					ws.growGreedy(start)
+				default:
+					ws.growWeighted(start, r, weightDeltaPow, 0, false)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,263 @@
+// Package solver implements the WASO group-selection algorithms of
+// "Willingness Optimization for Social Group Activity" (PVLDB 2013):
+//
+//   - DGreedy — deterministic marginal-gain greedy (baseline, §5);
+//   - RGreedy — randomized greedy that picks frontier nodes proportionally
+//     to the willingness of the resulting group (baseline, §5);
+//   - CBAS — uniform frontier sampling with the paper's pruning bound
+//     (§3.1): phase 1 ranks start nodes by NodeScore, phase 2 draws random
+//     connected k-node groups and keeps the best;
+//   - CBASND — CBAS with non-uniform adapted probabilities (§3.2): frontier
+//     nodes are drawn proportionally to ΔW(v|S)^α, steering samples toward
+//     high-willingness groups while retaining exploration.
+//
+// Every solver runs the same deterministic multi-start driver: the top
+// Options.Starts nodes by NodeScore each get an independent search whose
+// randomness derives from rng.Split sub-streams labelled (start index,
+// sample index). Results are reduced in start order, so the outcome of a
+// run depends only on (graph, k, Options.Seed) — never on Options.Workers
+// or goroutine scheduling.
+//
+// CBAS and CBASND seed their per-start incumbent with the deterministic
+// greedy completion from that start. This tightens the pruning bound from
+// the first sample and guarantees the randomized solvers never return a
+// worse group than DGreedy under the same start set.
+package solver
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"waso/internal/core"
+	"waso/internal/graph"
+	"waso/internal/rng"
+)
+
+// SamplerKind selects the weighted-sampling backend used by CBASND.
+type SamplerKind int
+
+const (
+	// SamplerAuto picks linear or Fenwick from the estimated frontier size
+	// (k · average degree) against FenwickCrossover.
+	SamplerAuto SamplerKind = iota
+	// SamplerLinear forces O(frontier) prefix-scan draws.
+	SamplerLinear
+	// SamplerFenwick forces O(log n) Fenwick-tree draws.
+	SamplerFenwick
+)
+
+// FenwickCrossover is the estimated frontier size above which SamplerAuto
+// switches CBASND from linear scans to a Fenwick tree. The default comes
+// from BenchmarkSamplerCrossover (see BENCH_solvers.json).
+const FenwickCrossover = 256
+
+// Default parameter values applied by Options.withDefaults.
+const (
+	DefaultStarts  = 8
+	DefaultSamples = 200
+	DefaultAlpha   = 2.0
+)
+
+// Options configures a Solve call. The zero value is usable: every field
+// defaults to the constants above (Workers to GOMAXPROCS, Seed to 0).
+type Options struct {
+	Starts  int     // start nodes taken from the top of the NodeScore ranking
+	Samples int     // random samples per start (randomized solvers only)
+	Workers int     // worker goroutines; ≤ 0 means GOMAXPROCS
+	Seed    uint64  // root seed; sub-streams derive from (Seed, start, sample)
+	Alpha   float64 // CBASND adapted-probability exponent: P(v) ∝ ΔW(v|S)^α
+
+	// DisablePrune turns off the upper-bound sample pruning in CBAS/CBASND.
+	DisablePrune bool
+	// Sampler selects the CBASND weighted-sampler backend.
+	Sampler SamplerKind
+}
+
+// FromParams derives Options from the shared experiment parameters;
+// solver-specific knobs (Starts, Alpha, pruning, sampler backend) keep
+// their zero-value defaults. Note that Options cannot express a zero
+// sample budget: Samples ≤ 0 means "use DefaultSamples".
+func FromParams(p core.Params) Options {
+	return Options{Samples: p.Samples, Workers: p.Workers, Seed: p.Seed}
+}
+
+func (o Options) withDefaults() Options {
+	if o.Starts <= 0 {
+		o.Starts = DefaultStarts
+	}
+	if o.Samples <= 0 {
+		o.Samples = DefaultSamples
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Alpha <= 0 {
+		o.Alpha = DefaultAlpha
+	}
+	return o
+}
+
+// Result reports the best group found plus search counters.
+type Result struct {
+	Algo         string
+	Best         core.Solution
+	Starts       int           // start nodes actually explored
+	SamplesDrawn int64         // random samples attempted (0 for DGreedy)
+	Pruned       int64         // samples abandoned by the upper bound
+	Elapsed      time.Duration // wall-clock Solve time
+}
+
+// Solver finds a connected group F, |F| ≤ k, maximizing W(F) per Eq. 1.
+type Solver interface {
+	Name() string
+	Solve(g *graph.Graph, k int, opts Options) (Result, error)
+}
+
+// New returns the named solver: "dgreedy", "rgreedy", "cbas" or "cbasnd".
+func New(name string) (Solver, error) {
+	for _, s := range All() {
+		if s.Name() == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("solver: unknown algorithm %q (have %v)", name, Names())
+}
+
+// All returns one instance of every solver in canonical presentation order
+// (baselines first, paper contributions last).
+func All() []Solver {
+	return []Solver{DGreedy{}, RGreedy{}, CBAS{}, CBASND{}}
+}
+
+// Names lists the registered solver names in presentation order.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, s := range all {
+		names[i] = s.Name()
+	}
+	return names
+}
+
+// PickStarts returns the s best start candidates: nodes ranked by NodeScore
+// descending (ties broken by ascending id), per CBAS phase 1 (§3.1).
+func PickStarts(g *graph.Graph, s int) []graph.NodeID {
+	return topStarts(g, nodeScores(g), s)
+}
+
+// nodeScores computes NodeScore for every node in one O(n+m) pass.
+func nodeScores(g *graph.Graph) []float64 {
+	score := make([]float64, g.N())
+	for i := range score {
+		score[i] = g.NodeScore(graph.NodeID(i))
+	}
+	return score
+}
+
+func topStarts(g *graph.Graph, score []float64, s int) []graph.NodeID {
+	n := g.N()
+	if s > n {
+		s = n
+	}
+	ids := make([]graph.NodeID, n)
+	for i := range ids {
+		ids[i] = graph.NodeID(i)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		if score[ids[a]] != score[ids[b]] {
+			return score[ids[a]] > score[ids[b]]
+		}
+		return ids[a] < ids[b]
+	})
+	return ids[:s]
+}
+
+// topScoreSums returns prefix sums of the descending NodeScore ranking:
+// topSum[r] = the largest possible total score of r distinct nodes. The
+// pruning bound charges each remaining addition its own node's score, so
+// no completion can gain more than topSum[k−|S|].
+func topScoreSums(score []float64, k int) []float64 {
+	sorted := append([]float64(nil), score...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	top := k
+	if top > len(sorted) {
+		top = len(sorted)
+	}
+	topSum := make([]float64, top+1)
+	for r := 1; r <= top; r++ {
+		topSum[r] = topSum[r-1] + sorted[r-1]
+	}
+	return topSum
+}
+
+// startOutcome is what exploring one start node produced.
+type startOutcome struct {
+	sol     core.Solution
+	samples int64
+	pruned  int64
+}
+
+// startRunner explores a single start node. Implementations must derive all
+// randomness from root.SplitN(startIdx, sampleIdx) so outcomes are
+// independent of worker scheduling.
+type startRunner func(ws *workspace, start graph.NodeID, startIdx int, root *rng.Stream, opts Options) startOutcome
+
+// multiStart is the shared parallel driver: it fans the start nodes over a
+// worker pool (one reusable workspace per worker) and reduces per-start
+// outcomes in start order, making the result schedule-independent.
+func multiStart(name string, g *graph.Graph, k int, opts Options, run startRunner) (Result, error) {
+	began := time.Now()
+	if g == nil || g.N() == 0 {
+		return Result{}, fmt.Errorf("solver: %s on empty graph", name)
+	}
+	if k < 1 {
+		return Result{}, fmt.Errorf("solver: %s requires k ≥ 1, got %d", name, k)
+	}
+	opts = opts.withDefaults()
+	// One NodeScore pass feeds both start selection and the pruning bound;
+	// workers share the read-only topSum slice.
+	scores := nodeScores(g)
+	starts := topStarts(g, scores, opts.Starts)
+	topSum := topScoreSums(scores, k)
+	outcomes := make([]startOutcome, len(starts))
+	root := rng.New(opts.Seed)
+
+	workers := opts.Workers
+	if workers > len(starts) {
+		workers = len(starts)
+	}
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := newWorkspace(g, k, opts, topSum)
+			for idx := range idxCh {
+				outcomes[idx] = run(ws, starts[idx], idx, root, opts)
+			}
+		}()
+	}
+	for idx := range starts {
+		idxCh <- idx
+	}
+	close(idxCh)
+	wg.Wait()
+
+	res := Result{Algo: name, Starts: len(starts)}
+	best := core.Solution{Willingness: math.Inf(-1)}
+	for _, oc := range outcomes {
+		res.SamplesDrawn += oc.samples
+		res.Pruned += oc.pruned
+		if oc.sol.Better(best) {
+			best = oc.sol
+		}
+	}
+	res.Best = best
+	res.Elapsed = time.Since(began)
+	return res, nil
+}

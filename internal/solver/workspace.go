@@ -1,0 +1,294 @@
+package solver
+
+import (
+	"math"
+
+	"waso/internal/bitset"
+	"waso/internal/core"
+	"waso/internal/graph"
+	"waso/internal/rng"
+	"waso/internal/sampling"
+)
+
+// workspace holds the per-worker scratch state for growing connected
+// groups. All structures are sized once for the graph and reset sparsely
+// between samples (bitset.ClearList, Fenwick slot zeroing), so a sample
+// costs O(k · deg) rather than O(n).
+type workspace struct {
+	g      *graph.Graph
+	k      int
+	topSum []float64 // topSum[r] = sum of the r largest NodeScores in V
+
+	inSet   *bitset.Set    // membership of the growing group
+	inFront *bitset.Set    // membership of the frontier (ever this growth)
+	set     []graph.NodeID // group in insertion order
+	touched []graph.NodeID // every node ever added to the frontier
+	will    float64        // W(set), maintained incrementally
+
+	// Uniform mode: active frontier as a swap-remove pool.
+	pool []graph.NodeID
+
+	// Weighted mode: append-only frontier slots with incremental ΔW.
+	slots  []graph.NodeID // slot -> node
+	slotOf []int32        // node -> slot (valid while inFront)
+	delta  []float64      // slot -> ΔW(node | set)
+	weight []float64      // scratch for linear weighted draws
+
+	fen       *sampling.Fenwick // lazily used Fenwick sampler over slots
+	useFen    bool              // backend decision for this workspace
+	fenActive bool              // Fenwick weights are live for this growth
+	alpha     float64           // CBASND exponent for Fenwick weight updates
+}
+
+// newWorkspace sizes the scratch state for g. topSum is the shared
+// read-only pruning-bound table from topScoreSums.
+func newWorkspace(g *graph.Graph, k int, opts Options, topSum []float64) *workspace {
+	n := g.N()
+	useFen := opts.Sampler == SamplerFenwick ||
+		(opts.Sampler == SamplerAuto && float64(k)*g.AvgDegree() > FenwickCrossover)
+	ws := &workspace{
+		g:       g,
+		k:       k,
+		topSum:  topSum,
+		inSet:   bitset.New(n),
+		inFront: bitset.New(n),
+		slotOf:  make([]int32, n),
+		useFen:  useFen,
+		alpha:   opts.Alpha,
+	}
+	if useFen {
+		ws.fen = sampling.NewFenwick(n)
+	}
+	return ws
+}
+
+// reset sparsely clears the previous growth. O(touched).
+func (ws *workspace) reset() {
+	ws.inSet.ClearList(ws.set)
+	ws.inFront.ClearList(ws.touched)
+	if ws.fenActive {
+		for s := range ws.slots {
+			ws.fen.Set(s, 0)
+		}
+		ws.fenActive = false
+	}
+	ws.set = ws.set[:0]
+	ws.touched = ws.touched[:0]
+	ws.pool = ws.pool[:0]
+	ws.slots = ws.slots[:0]
+	ws.delta = ws.delta[:0]
+	ws.will = 0
+}
+
+// deltaOf computes ΔW(v | set) = η_v + Σ_{u∈set∩N(v)} (τ_{v,u} + τ_{u,v})
+// with a direct Edges scan — the hot path of every solver.
+func (ws *workspace) deltaOf(v graph.NodeID) float64 {
+	d := ws.g.Interest(v)
+	nbrs, tauOut, tauIn := ws.g.Edges(v)
+	for p, u := range nbrs {
+		if ws.inSet.Contains(int(u)) {
+			d += tauOut[p] + tauIn[p]
+		}
+	}
+	return d
+}
+
+// snapshot captures the current group as a canonical Solution.
+func (ws *workspace) snapshot() core.Solution {
+	return core.NewSolution(ws.set, ws.will)
+}
+
+// upperBound is the pruning bound of §3.1: adding v to any group gains at
+// most NodeScore(v), so no completion of the current partial group can
+// exceed W(S) plus the sum of the k−|S| largest node scores.
+func (ws *workspace) upperBound() float64 {
+	r := ws.k - len(ws.set)
+	if r >= len(ws.topSum) {
+		r = len(ws.topSum) - 1
+	}
+	return ws.will + ws.topSum[r]
+}
+
+// ---------------------------------------------------------------------------
+// Uniform growth (CBAS phase 2)
+
+// growUniform grows a connected group from start by drawing frontier nodes
+// uniformly at random until |set| = k or the frontier is exhausted. When
+// prune is set, the growth is abandoned (returning true) as soon as the
+// upper bound cannot beat bestW.
+func (ws *workspace) growUniform(start graph.NodeID, r *rng.Stream, bestW float64, prune bool) (pruned bool) {
+	ws.reset()
+	ws.addUniform(start)
+	for len(ws.set) < ws.k && len(ws.pool) > 0 {
+		if prune && ws.upperBound() <= bestW {
+			return true
+		}
+		i := r.IntN(len(ws.pool))
+		v := ws.pool[i]
+		last := len(ws.pool) - 1
+		ws.pool[i] = ws.pool[last]
+		ws.pool = ws.pool[:last]
+		ws.addUniform(v)
+	}
+	return false
+}
+
+func (ws *workspace) addUniform(v graph.NodeID) {
+	ws.will += ws.deltaOf(v)
+	ws.inSet.Add(int(v))
+	ws.set = append(ws.set, v)
+	for _, u := range ws.g.Neighbors(v) {
+		if ws.inSet.Contains(int(u)) || ws.inFront.Contains(int(u)) {
+			continue
+		}
+		ws.inFront.Add(int(u))
+		ws.touched = append(ws.touched, u)
+		ws.pool = append(ws.pool, u)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Weighted growth (DGreedy, RGreedy, CBASND)
+
+// weightKind selects how a frontier slot's draw weight is derived.
+type weightKind int
+
+const (
+	// weightDeltaPow draws v with P ∝ ΔW(v|S)^α — CBASND's adapted
+	// probabilities. Compatible with the Fenwick backend because the weight
+	// depends only on the slot's δ.
+	weightDeltaPow weightKind = iota
+	// weightGroup draws v with P ∝ W(S∪{v}) = W(S) + ΔW(v|S) — RGreedy.
+	// Step-dependent, so always drawn with the linear scanner.
+	weightGroup
+)
+
+func powWeight(d, alpha float64) float64 {
+	if d <= 0 {
+		return 0
+	}
+	switch alpha {
+	case 1:
+		return d
+	case 2:
+		return d * d
+	default:
+		return math.Pow(d, alpha)
+	}
+}
+
+// seedSlot installs start as slot 0 and selects it.
+func (ws *workspace) seedSlot(start graph.NodeID) {
+	ws.inFront.Add(int(start))
+	ws.touched = append(ws.touched, start)
+	ws.slots = append(ws.slots, start)
+	ws.slotOf[start] = 0
+	ws.delta = append(ws.delta, ws.g.Interest(start))
+	ws.takeSlot(0)
+}
+
+// takeSlot moves the node at slot into the group and refreshes the ΔW of
+// affected frontier slots (and their Fenwick weights when active).
+func (ws *workspace) takeSlot(slot int) {
+	v := ws.slots[slot]
+	ws.will += ws.delta[slot]
+	ws.inSet.Add(int(v))
+	ws.set = append(ws.set, v)
+	if ws.fenActive {
+		ws.fen.Set(slot, 0)
+	}
+	nbrs, tauOut, tauIn := ws.g.Edges(v)
+	for p, u := range nbrs {
+		if ws.inSet.Contains(int(u)) {
+			continue
+		}
+		if ws.inFront.Contains(int(u)) {
+			s := int(ws.slotOf[u])
+			ws.delta[s] += tauOut[p] + tauIn[p]
+			if ws.fenActive {
+				ws.fen.Set(s, powWeight(ws.delta[s], ws.alpha))
+			}
+			continue
+		}
+		ws.inFront.Add(int(u))
+		ws.touched = append(ws.touched, u)
+		s := len(ws.slots)
+		ws.slots = append(ws.slots, u)
+		ws.slotOf[u] = int32(s)
+		d := ws.deltaOf(u)
+		ws.delta = append(ws.delta, d)
+		if ws.fenActive {
+			ws.fen.Set(s, powWeight(d, ws.alpha))
+		}
+	}
+}
+
+// growGreedy grows deterministically from start, adding the frontier node
+// with maximum ΔW each step (ties to the smallest id).
+func (ws *workspace) growGreedy(start graph.NodeID) {
+	ws.reset()
+	ws.seedSlot(start)
+	for len(ws.set) < ws.k {
+		best, bestD := -1, 0.0
+		for s, v := range ws.slots {
+			if ws.inSet.Contains(int(v)) {
+				continue
+			}
+			d := ws.delta[s]
+			if best == -1 || d > bestD || (d == bestD && v < ws.slots[best]) {
+				best, bestD = s, d
+			}
+		}
+		if best < 0 {
+			return
+		}
+		ws.takeSlot(best)
+	}
+}
+
+// growWeighted grows randomly from start, drawing each next node with the
+// probability law selected by kind. When prune is set, the growth is
+// abandoned (returning true) once the upper bound cannot beat bestW.
+func (ws *workspace) growWeighted(start graph.NodeID, r *rng.Stream, kind weightKind, bestW float64, prune bool) (pruned bool) {
+	ws.reset()
+	ws.fenActive = ws.useFen && kind == weightDeltaPow
+	ws.seedSlot(start)
+	for len(ws.set) < ws.k {
+		if prune && ws.upperBound() <= bestW {
+			return true
+		}
+		slot := ws.drawSlot(r, kind)
+		if slot < 0 {
+			return false
+		}
+		ws.takeSlot(slot)
+	}
+	return false
+}
+
+// drawSlot picks the next frontier slot, or -1 if the frontier is
+// exhausted (every slot selected or zero-weight).
+func (ws *workspace) drawSlot(r *rng.Stream, kind weightKind) int {
+	if ws.fenActive {
+		slot, err := ws.fen.Sample(r)
+		if err != nil {
+			return -1
+		}
+		return slot
+	}
+	w := ws.weight[:0]
+	for s, v := range ws.slots {
+		if ws.inSet.Contains(int(v)) {
+			w = append(w, 0)
+			continue
+		}
+		switch kind {
+		case weightGroup:
+			w = append(w, ws.will+ws.delta[s])
+		default:
+			w = append(w, powWeight(ws.delta[s], ws.alpha))
+		}
+	}
+	ws.weight = w
+	return sampling.WeightedIndex(r, w)
+}

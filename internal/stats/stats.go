@@ -100,15 +100,18 @@ func GeoMean(xs []float64) float64 {
 	return math.Exp(s / float64(len(xs)))
 }
 
-// Bucket is one bar of a Histogram.
+// Bucket is one bar of a histogram. Which side of each edge a value
+// belongs to depends on the producing function: Histogram assigns interior
+// edges to the lower bucket, HistogramFixed to the upper.
 type Bucket struct {
-	Lo, Hi float64 // [Lo, Hi)
+	Lo, Hi float64
 	Count  int
 }
 
-// Histogram buckets xs into n equal-width bins spanning [min, max]. The
-// final bucket is closed on both ends. Figure 4(a) and Figure 6(a) of the
-// paper are histograms produced through this function.
+// Histogram buckets xs into n equal-width bins spanning [min, max].
+// Interior bin edges belong to the lower bucket, so bucket i covers
+// (Lo, Hi] except the first, which also includes its Lo. Figure 4(a) and
+// Figure 6(a) of the paper are histograms produced through this function.
 func Histogram(xs []float64, n int) []Bucket {
 	if n <= 0 || len(xs) == 0 {
 		return nil
@@ -117,7 +120,10 @@ func Histogram(xs []float64, n int) []Bucket {
 	if hi == lo {
 		return []Bucket{{Lo: lo, Hi: hi, Count: len(xs)}}
 	}
-	width := (hi - lo) / float64(n)
+	// hi/n − lo/n rather than (hi−lo)/n: the span of extreme inputs can
+	// overflow to +Inf even though each half scales finitely (n ≥ 2; for
+	// n = 1 an infinite width is harmless, every value lands in bucket 0).
+	width := hi/float64(n) - lo/float64(n)
 	buckets := make([]Bucket, n)
 	for i := range buckets {
 		buckets[i].Lo = lo + float64(i)*width
@@ -125,9 +131,18 @@ func Histogram(xs []float64, n int) []Bucket {
 	}
 	buckets[n-1].Hi = hi
 	for _, x := range xs {
-		idx := int((x - lo) / width)
-		if idx >= n {
+		// x−lo can still overflow to +Inf (making r = Inf, or NaN when
+		// width is also Inf in the n = 1 case); both belong at the top.
+		r := (x - lo) / width
+		var idx int
+		switch {
+		case math.IsNaN(r) || r >= float64(n):
 			idx = n - 1
+		default:
+			idx = int(math.Ceil(r)) - 1 // edge values fall to the lower bucket
+			if idx < 0 {
+				idx = 0
+			}
 		}
 		buckets[idx].Count++
 	}
@@ -135,7 +150,8 @@ func Histogram(xs []float64, n int) []Bucket {
 }
 
 // HistogramFixed buckets xs into bins with explicit edges (len(edges)-1
-// bins); values outside [edges[0], edges[last]] are dropped.
+// bins); bin i covers [edges[i], edges[i+1]) with the final bin closed,
+// and values outside [edges[0], edges[last]] are dropped.
 func HistogramFixed(xs []float64, edges []float64) []Bucket {
 	if len(edges) < 2 {
 		return nil
@@ -288,10 +304,10 @@ func FormatFloat(v float64) string {
 	switch {
 	case math.IsNaN(v):
 		return "NaN"
-	case v == math.Trunc(v) && math.Abs(v) < 1e9:
-		return fmt.Sprintf("%.0f", v)
 	case math.Abs(v) >= 1e6 || (v != 0 && math.Abs(v) < 1e-3):
 		return fmt.Sprintf("%.3e", v)
+	case v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
 	default:
 		return fmt.Sprintf("%.4f", v)
 	}
