@@ -7,12 +7,19 @@
 //
 //	waso -gen powerlaw -n 1000 -k 10 -algo all
 //	waso -gen er -n 5000 -avgdeg 12 -k 20 -algo cbas,cbasnd -seeds 10 -csv
+//
+// The CLI shares its solving path with the wasod server: both build a
+// core.Request and dispatch through the solver registry, so a (graph,
+// algo, request) triple produces the identical report in either front end.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"waso/internal/core"
@@ -23,7 +30,9 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "waso:", err)
 		os.Exit(1)
 	}
@@ -47,7 +56,7 @@ type config struct {
 	verbose bool
 }
 
-func run(args []string, out *os.File) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("waso", flag.ContinueOnError)
 	cfg := config{}
 	fs.StringVar(&cfg.genKind, "gen", "powerlaw", "graph generator: powerlaw (preferential attachment) or er (Erdős–Rényi)")
@@ -57,11 +66,11 @@ func run(args []string, out *os.File) error {
 	fs.StringVar(&cfg.algos, "algo", "all", "comma-separated solvers ("+strings.Join(solver.Names(), ",")+") or all")
 	fs.IntVar(&cfg.seeds, "seeds", 5, "number of instance seeds to average over")
 	fs.Uint64Var(&cfg.seed, "seed", 1, "base seed; instance i uses seed+i")
-	fs.IntVar(&cfg.samples, "samples", solver.DefaultSamples, "random samples per start node")
-	fs.IntVar(&cfg.starts, "starts", solver.DefaultStarts, "start nodes per solver run")
+	fs.IntVar(&cfg.samples, "samples", core.DefaultSamples, "random samples per start node (0 = greedy completion only)")
+	fs.IntVar(&cfg.starts, "starts", core.DefaultStarts, "start nodes per solver run")
 	fs.IntVar(&cfg.workers, "workers", 0, "parallel workers (0 = GOMAXPROCS)")
-	fs.Float64Var(&cfg.alpha, "alpha", solver.DefaultAlpha, "CBASND adapted-probability exponent")
-	fs.StringVar(&cfg.sampler, "sampler", "auto", "CBASND weighted sampler: auto, linear or fenwick")
+	fs.Float64Var(&cfg.alpha, "alpha", core.DefaultAlpha, "CBASND adapted-probability exponent")
+	fs.StringVar(&cfg.sampler, "sampler", string(core.SamplerAuto), "CBASND weighted sampler: auto, linear or fenwick")
 	fs.BoolVar(&cfg.noPrune, "noprune", false, "disable the CBAS/CBASND pruning bound")
 	fs.BoolVar(&cfg.csv, "csv", false, "emit CSV instead of an aligned table")
 	fs.BoolVar(&cfg.verbose, "v", false, "print per-seed solutions")
@@ -72,17 +81,15 @@ func run(args []string, out *os.File) error {
 		return err
 	}
 
-	params := core.Params{K: cfg.k, Seed: cfg.seed, Samples: cfg.samples, Workers: cfg.workers}
-	if err := params.Validate(); err != nil {
+	req := core.DefaultRequest(cfg.k)
+	req.Starts = cfg.starts
+	req.Samples = cfg.samples
+	req.Alpha = cfg.alpha
+	req.Sampler = core.Sampler(cfg.sampler)
+	req.Prune = !cfg.noPrune
+	req.Workers = cfg.workers
+	if err := req.Validate(); err != nil {
 		return err
-	}
-	// solver.Options treats Samples/Starts ≤ 0 as "use the default", so
-	// reject values the options cannot faithfully express.
-	if cfg.samples < 1 {
-		return fmt.Errorf("-samples must be ≥ 1, got %d", cfg.samples)
-	}
-	if cfg.starts < 1 {
-		return fmt.Errorf("-starts must be ≥ 1, got %d", cfg.starts)
 	}
 	if cfg.seeds < 1 {
 		return fmt.Errorf("-seeds must be ≥ 1, got %d", cfg.seeds)
@@ -91,15 +98,6 @@ func run(args []string, out *os.File) error {
 	if err != nil {
 		return err
 	}
-	samplerKind, err := parseSampler(cfg.sampler)
-	if err != nil {
-		return err
-	}
-	opts := solver.FromParams(params)
-	opts.Starts = cfg.starts
-	opts.Alpha = cfg.alpha
-	opts.DisablePrune = cfg.noPrune
-	opts.Sampler = samplerKind
 
 	type algoStats struct {
 		will, millis []float64
@@ -113,7 +111,7 @@ func run(args []string, out *os.File) error {
 
 	for i := 0; i < cfg.seeds; i++ {
 		instanceSeed := cfg.seed + uint64(i)
-		g, err := generate(cfg, instanceSeed)
+		g, err := gen.Spec{Kind: cfg.genKind, N: cfg.n, AvgDeg: cfg.avgDeg, Seed: instanceSeed}.Build()
 		if err != nil {
 			return err
 		}
@@ -121,23 +119,23 @@ func run(args []string, out *os.File) error {
 			fmt.Fprintf(out, "# seed %d: n=%d m=%d avgdeg=%.2f\n", instanceSeed, g.N(), g.M(), g.AvgDegree())
 		}
 		for _, s := range solvers {
-			o := opts
-			o.Seed = instanceSeed
-			res, err := s.Solve(g, cfg.k, o)
+			r := req
+			r.Seed = instanceSeed
+			rep, err := s.Solve(ctx, g, r)
 			if err != nil {
 				return fmt.Errorf("%s on seed %d: %w", s.Name(), instanceSeed, err)
 			}
-			if err := check(g, cfg.k, res); err != nil {
+			if err := check(g, cfg.k, rep); err != nil {
 				return fmt.Errorf("%s on seed %d: %w", s.Name(), instanceSeed, err)
 			}
 			a := acc[s.Name()]
-			a.will = append(a.will, res.Best.Willingness)
-			a.millis = append(a.millis, float64(res.Elapsed.Microseconds())/1000)
-			a.samples += res.SamplesDrawn
-			a.pruned += res.Pruned
+			a.will = append(a.will, rep.Best.Willingness)
+			a.millis = append(a.millis, rep.ElapsedMillis())
+			a.samples += rep.SamplesDrawn
+			a.pruned += rep.Pruned
 			if cfg.verbose {
 				fmt.Fprintf(out, "#   %-8s %v (%.2fms, %d/%d samples pruned)\n",
-					s.Name(), res.Best, float64(res.Elapsed.Microseconds())/1000, res.Pruned, res.SamplesDrawn)
+					s.Name(), rep.Best, rep.ElapsedMillis(), rep.Pruned, rep.SamplesDrawn)
 			}
 		}
 	}
@@ -158,35 +156,11 @@ func run(args []string, out *os.File) error {
 	return t.Fprint(out)
 }
 
-// generate builds one instance for the given seed.
-func generate(cfg config, seed uint64) (*graph.Graph, error) {
-	sc := gen.DefaultScores()
-	switch cfg.genKind {
-	case "powerlaw", "pl", "ba":
-		m := int(cfg.avgDeg / 2)
-		if m < 1 {
-			m = 1
-		}
-		return gen.PreferentialAttachment(cfg.n, m, sc, seed)
-	case "er", "gnp":
-		p := 0.0
-		if cfg.n > 1 {
-			p = cfg.avgDeg / float64(cfg.n-1)
-		}
-		if p > 1 {
-			p = 1
-		}
-		return gen.ErdosRenyi(cfg.n, p, sc, seed)
-	default:
-		return nil, fmt.Errorf("unknown generator %q (want powerlaw or er)", cfg.genKind)
-	}
-}
-
 // check enforces the solution invariants every solver promises: a
 // non-empty connected group of at most k nodes whose stored willingness
 // matches a from-scratch recomputation.
-func check(g *graph.Graph, k int, res solver.Result) error {
-	sol := res.Best
+func check(g *graph.Graph, k int, rep core.Report) error {
+	sol := rep.Best
 	if sol.Size() == 0 || sol.Size() > k {
 		return fmt.Errorf("solution size %d outside (0, %d]", sol.Size(), k)
 	}
@@ -224,17 +198,4 @@ func selectSolvers(spec string) ([]solver.Solver, error) {
 		out = append(out, s)
 	}
 	return out, nil
-}
-
-func parseSampler(s string) (solver.SamplerKind, error) {
-	switch s {
-	case "auto", "":
-		return solver.SamplerAuto, nil
-	case "linear":
-		return solver.SamplerLinear, nil
-	case "fenwick":
-		return solver.SamplerFenwick, nil
-	default:
-		return 0, fmt.Errorf("unknown sampler %q (want auto, linear or fenwick)", s)
-	}
 }

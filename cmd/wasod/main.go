@@ -1,0 +1,269 @@
+// Command wasod serves WASO solving over a JSON HTTP API, built on the
+// service layer's shared graph store:
+//
+//	GET  /healthz            — liveness probe
+//	POST /v1/graphs          — ingest a graph: generate, JSON edge list, or
+//	                           binary codec upload (application/octet-stream
+//	                           with ?id=)
+//	GET  /v1/graphs          — list resident graphs
+//	DELETE /v1/graphs/{id}   — evict a graph
+//	POST /v1/solve           — run a solver against a resident graph
+//
+// Solve bodies decode over core.DefaultRequest, so absent fields keep the
+// paper defaults while explicit zeros (e.g. "samples": 0) mean what they
+// say. Per-request deadlines come from "timeout_ms", bounded by the
+// server's -timeout; deadline overruns surface as 504s.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"waso/internal/core"
+	"waso/internal/gen"
+	"waso/internal/graph"
+	"waso/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request solve deadline cap (also the default when a request sets none)")
+		maxBody  = flag.Int64("maxbody", 64<<20, "maximum request body bytes")
+		maxGraph = flag.Int("maxgraphs", 0, "maximum resident graphs (0 = unlimited)")
+		maxNodes = flag.Int("maxnodes", 10_000_000, "maximum nodes per resident graph (0 = unlimited)")
+		maxEdges = flag.Int("maxedges", 50_000_000, "maximum edges per resident graph (0 = unlimited)")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		DefaultTimeout: *timeout,
+		MaxGraphs:      *maxGraph,
+		MaxNodes:       *maxNodes,
+		MaxEdges:       *maxEdges,
+	})
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: newMux(svc, *maxBody, *timeout),
+		// Slow-client guards: a trickled header or body cannot pin a
+		// goroutine forever. Writes get the solve deadline plus slack.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      *timeout + time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		// Give in-flight solves their full deadline plus slack to finish.
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *timeout+5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("wasod listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	// ListenAndServe returns as soon as Shutdown starts; wait for the
+	// drain (bounded by shutdownCtx) so in-flight solves finish.
+	stop()
+	<-drained
+}
+
+// api routes requests to the service layer and owns the JSON envelope.
+type api struct {
+	svc        *service.Service
+	maxBody    int64
+	maxTimeout time.Duration // hard cap on client-supplied timeout_ms; 0 = uncapped
+}
+
+// newMux builds the route table; separated from main so tests can mount it
+// on httptest servers.
+func newMux(svc *service.Service, maxBody int64, maxTimeout time.Duration) *http.ServeMux {
+	a := &api{svc: svc, maxBody: maxBody, maxTimeout: maxTimeout}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", a.health)
+	mux.HandleFunc("POST /v1/graphs", a.putGraph)
+	mux.HandleFunc("GET /v1/graphs", a.listGraphs)
+	mux.HandleFunc("DELETE /v1/graphs/{id}", a.evictGraph)
+	mux.HandleFunc("POST /v1/solve", a.solve)
+	return mux
+}
+
+// httpError is the uniform error envelope.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// fail maps service/context sentinel errors to HTTP statuses.
+func fail(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, service.ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, service.ErrExists):
+		status = http.StatusConflict
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = 499 // client closed request (nginx convention)
+	case errors.As(err, &tooBig):
+		status = http.StatusRequestEntityTooLarge
+	}
+	writeJSON(w, status, httpError{Error: err.Error()})
+}
+
+func (a *api) health(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// putGraphBody is the JSON ingestion envelope: exactly one of Generate or
+// Graph must be set.
+type putGraphBody struct {
+	ID       string           `json:"id"`
+	Generate *gen.Spec        `json:"generate,omitempty"`
+	Graph    *json.RawMessage `json:"graph,omitempty"`
+}
+
+func (a *api) putGraph(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, a.maxBody)
+	// Binary codec upload: id comes from the query string.
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/octet-stream") {
+		id := r.URL.Query().Get("id")
+		g, err := graph.Decode(body)
+		if err != nil {
+			fail(w, fmt.Errorf("%w: %w", service.ErrInvalid, err))
+			return
+		}
+		info, err := a.svc.Load(id, g, "binary")
+		if err != nil {
+			fail(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, info)
+		return
+	}
+
+	var req putGraphBody
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		fail(w, fmt.Errorf("%w: %w", service.ErrInvalid, err))
+		return
+	}
+	switch {
+	case req.Generate != nil && req.Graph != nil:
+		fail(w, fmt.Errorf("%w: set exactly one of \"generate\" and \"graph\"", service.ErrInvalid))
+	case req.Generate != nil:
+		info, err := a.svc.Generate(req.ID, *req.Generate)
+		if err != nil {
+			fail(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, info)
+	case req.Graph != nil:
+		// Decode only the document here; the service checks its declared
+		// size against the caps before the O(n) build.
+		var doc graph.EdgeListJSON
+		ddec := json.NewDecoder(bytes.NewReader(*req.Graph))
+		ddec.DisallowUnknownFields()
+		if err := ddec.Decode(&doc); err != nil {
+			fail(w, fmt.Errorf("%w: %w", service.ErrInvalid, err))
+			return
+		}
+		info, err := a.svc.LoadEdgeList(req.ID, doc)
+		if err != nil {
+			fail(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, info)
+	default:
+		fail(w, fmt.Errorf("%w: set one of \"generate\" and \"graph\"", service.ErrInvalid))
+	}
+}
+
+func (a *api) listGraphs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]service.GraphInfo{"graphs": a.svc.List()})
+}
+
+func (a *api) evictGraph(w http.ResponseWriter, r *http.Request) {
+	if err := a.svc.Evict(r.PathValue("id")); err != nil {
+		fail(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// solveBody is the solve envelope. Request decodes over the paper defaults.
+type solveBody struct {
+	Graph     string          `json:"graph"`
+	Algo      string          `json:"algo"`
+	TimeoutMS int64           `json:"timeout_ms,omitempty"`
+	Request   json.RawMessage `json:"request"`
+}
+
+// solveResponse wraps the solver report with the request echo a client
+// needs to correlate async responses.
+type solveResponse struct {
+	Graph  string      `json:"graph"`
+	Report core.Report `json:"report"`
+}
+
+func (a *api) solve(w http.ResponseWriter, r *http.Request) {
+	var body solveBody
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, a.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		fail(w, fmt.Errorf("%w: %w", service.ErrInvalid, err))
+		return
+	}
+	req := core.DefaultRequest(0)
+	if len(body.Request) > 0 {
+		rdec := json.NewDecoder(bytes.NewReader(body.Request))
+		rdec.DisallowUnknownFields()
+		if err := rdec.Decode(&req); err != nil {
+			fail(w, fmt.Errorf("%w: request: %w", service.ErrInvalid, err))
+			return
+		}
+	}
+	ctx := r.Context()
+	if body.TimeoutMS > 0 {
+		d := time.Duration(body.TimeoutMS) * time.Millisecond
+		// Clamp to the server's -timeout so a client cannot pin workers
+		// past the operator's bound.
+		if a.maxTimeout > 0 && d > a.maxTimeout {
+			d = a.maxTimeout
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	rep, err := a.svc.Solve(ctx, body.Graph, body.Algo, req)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, solveResponse{Graph: body.Graph, Report: rep})
+}

@@ -1,0 +1,289 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"waso/internal/core"
+	"waso/internal/gen"
+	"waso/internal/graph"
+	"waso/internal/service"
+	"waso/internal/solver"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	svc := service.New(service.Config{DefaultTimeout: 30 * time.Second})
+	ts := httptest.NewServer(newMux(svc, 64<<20, 30*time.Second))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func doJSON(t *testing.T, method, url, body string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, blob
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t)
+	status, body := doJSON(t, "GET", ts.URL+"/healthz", "")
+	if status != http.StatusOK || !strings.Contains(string(body), "true") {
+		t.Fatalf("healthz: %d %s", status, body)
+	}
+}
+
+func TestGraphLifecycleHTTP(t *testing.T) {
+	ts := newTestServer(t)
+
+	status, body := doJSON(t, "POST", ts.URL+"/v1/graphs",
+		`{"id":"pl1","generate":{"kind":"powerlaw","n":300,"avgdeg":8,"seed":3}}`)
+	if status != http.StatusCreated {
+		t.Fatalf("generate: %d %s", status, body)
+	}
+	var info service.GraphInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != "pl1" || info.Nodes != 300 || info.Edges == 0 {
+		t.Errorf("info = %+v", info)
+	}
+
+	// Duplicate id conflicts.
+	if status, _ := doJSON(t, "POST", ts.URL+"/v1/graphs",
+		`{"id":"pl1","generate":{"kind":"er","n":10,"avgdeg":2,"seed":1}}`); status != http.StatusConflict {
+		t.Errorf("duplicate id: %d, want 409", status)
+	}
+
+	// Edge-list upload.
+	status, body = doJSON(t, "POST", ts.URL+"/v1/graphs",
+		`{"id":"tiny","graph":{"nodes":3,"interest":[1,2,3],"edges":[{"src":0,"dst":1,"tau":0.5},{"src":1,"dst":2}]}}`)
+	if status != http.StatusCreated {
+		t.Fatalf("upload: %d %s", status, body)
+	}
+
+	status, body = doJSON(t, "GET", ts.URL+"/v1/graphs", "")
+	if status != http.StatusOK {
+		t.Fatalf("list: %d %s", status, body)
+	}
+	var list struct {
+		Graphs []service.GraphInfo `json:"graphs"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Graphs) != 2 || list.Graphs[0].ID != "pl1" || list.Graphs[1].ID != "tiny" {
+		t.Errorf("list = %+v", list.Graphs)
+	}
+
+	if status, _ := doJSON(t, "DELETE", ts.URL+"/v1/graphs/tiny", ""); status != http.StatusNoContent {
+		t.Errorf("evict: %d, want 204", status)
+	}
+	if status, _ := doJSON(t, "DELETE", ts.URL+"/v1/graphs/tiny", ""); status != http.StatusNotFound {
+		t.Errorf("double evict: %d, want 404", status)
+	}
+}
+
+func TestBinaryUploadHTTP(t *testing.T) {
+	ts := newTestServer(t)
+	g, err := gen.Spec{Kind: "er", N: 64, AvgDeg: 4, Seed: 9}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := graph.Encode(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/graphs?id=bin1", "application/octet-stream", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		blob, _ := io.ReadAll(resp.Body)
+		t.Fatalf("binary upload: %d %s", resp.StatusCode, blob)
+	}
+	// Corrupt binary is rejected.
+	resp2, err := http.Post(ts.URL+"/v1/graphs?id=bin2", "application/octet-stream",
+		strings.NewReader("not a waso graph"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("corrupt binary: %d, want 400", resp2.StatusCode)
+	}
+}
+
+// TestBodyLimits: oversized bodies get 413, and generate specs or upload
+// documents above the server's node/edge caps get 400 without the graph
+// ever being allocated.
+func TestBodyLimits(t *testing.T) {
+	svc := service.New(service.Config{MaxNodes: 1000, MaxEdges: 10000})
+	ts := httptest.NewServer(newMux(svc, 1<<10, time.Second)) // 1 KiB body cap
+	t.Cleanup(ts.Close)
+	big := fmt.Sprintf(`{"id":"x","graph":{"nodes":2,"interest":[1,2],"edges":[{"src":0,"dst":1}]},"pad":%q}`,
+		strings.Repeat("z", 4096))
+	if status, body := doJSON(t, "POST", ts.URL+"/v1/graphs", big); status != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: %d %s, want 413", status, body)
+	}
+	began := time.Now()
+	cases := []struct{ name, body string }{
+		{"over-cap generate nodes", `{"id":"h1","generate":{"kind":"er","n":2000000000,"avgdeg":8,"seed":1}}`},
+		{"over-cap generate edges", `{"id":"h2","generate":{"kind":"er","n":1000,"avgdeg":1000000000,"seed":1}}`},
+		{"over-cap upload nodes", `{"id":"h3","graph":{"nodes":2000000000,"edges":[]}}`},
+	}
+	for _, tc := range cases {
+		if status, body := doJSON(t, "POST", ts.URL+"/v1/graphs", tc.body); status != http.StatusBadRequest {
+			t.Errorf("%s: %d %s, want 400", tc.name, status, body)
+		}
+	}
+	// Rejection must happen before any build: instant, no allocation.
+	if d := time.Since(began); d > 2*time.Second {
+		t.Errorf("cap rejections took %v, want instant", d)
+	}
+}
+
+// TestSolveMatchesCLIPath: the server returns the same willingness as a
+// direct solver call for the same (graph, algo, Request) — the acceptance
+// bar that the HTTP layer adds routing, not semantics.
+func TestSolveMatchesCLIPath(t *testing.T) {
+	ts := newTestServer(t)
+	spec := gen.Spec{Kind: "powerlaw", N: 400, AvgDeg: 8, Seed: 5}
+	if status, body := doJSON(t, "POST", ts.URL+"/v1/graphs",
+		`{"id":"g","generate":{"kind":"powerlaw","n":400,"avgdeg":8,"seed":5}}`); status != http.StatusCreated {
+		t.Fatalf("generate: %d %s", status, body)
+	}
+
+	for _, algo := range solver.Names() {
+		status, body := doJSON(t, "POST", ts.URL+"/v1/solve",
+			fmt.Sprintf(`{"graph":"g","algo":%q,"request":{"k":10,"samples":30,"seed":42}}`, algo))
+		if status != http.StatusOK {
+			t.Fatalf("%s: %d %s", algo, status, body)
+		}
+		var got struct {
+			Graph  string      `json:"graph"`
+			Report core.Report `json:"report"`
+		}
+		if err := json.Unmarshal(body, &got); err != nil {
+			t.Fatal(err)
+		}
+
+		g, err := spec.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := core.DefaultRequest(10)
+		req.Samples = 30
+		req.Seed = 42
+		sv, err := solver.New(algo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sv.Solve(context.Background(), g, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Report.Best.Willingness != want.Best.Willingness || !got.Report.Best.Equal(want.Best) {
+			t.Errorf("%s: server %v != direct %v", algo, got.Report.Best, want.Best)
+		}
+		if got.Report.SamplesDrawn != want.SamplesDrawn {
+			t.Errorf("%s: server drew %d samples, direct %d", algo, got.Report.SamplesDrawn, want.SamplesDrawn)
+		}
+	}
+}
+
+// TestSolveDeadlineHTTP: a 1ms deadline on a large instance returns 504
+// (context.DeadlineExceeded) instead of running to completion.
+func TestSolveDeadlineHTTP(t *testing.T) {
+	ts := newTestServer(t)
+	if status, body := doJSON(t, "POST", ts.URL+"/v1/graphs",
+		`{"id":"big","generate":{"kind":"powerlaw","n":3000,"avgdeg":10,"seed":2}}`); status != http.StatusCreated {
+		t.Fatalf("generate: %d %s", status, body)
+	}
+	began := time.Now()
+	status, body := doJSON(t, "POST", ts.URL+"/v1/solve",
+		`{"graph":"big","algo":"cbasnd","timeout_ms":1,"request":{"k":20,"samples":1048576,"prune":false}}`)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("deadline solve: %d %s, want 504", status, body)
+	}
+	if !strings.Contains(string(body), "deadline") {
+		t.Errorf("body %s does not mention the deadline", body)
+	}
+	if d := time.Since(began); d > 10*time.Second {
+		t.Errorf("1ms-deadline request took %v", d)
+	}
+}
+
+// TestTimeoutClampHTTP: a huge client timeout_ms cannot push the solve
+// past the server's own bound — the operator's -timeout wins.
+func TestTimeoutClampHTTP(t *testing.T) {
+	svc := service.New(service.Config{DefaultTimeout: 20 * time.Millisecond})
+	ts := httptest.NewServer(newMux(svc, 64<<20, 20*time.Millisecond))
+	t.Cleanup(ts.Close)
+	if status, body := doJSON(t, "POST", ts.URL+"/v1/graphs",
+		`{"id":"big","generate":{"kind":"powerlaw","n":3000,"avgdeg":10,"seed":2}}`); status != http.StatusCreated {
+		t.Fatalf("generate: %d %s", status, body)
+	}
+	began := time.Now()
+	status, body := doJSON(t, "POST", ts.URL+"/v1/solve",
+		`{"graph":"big","algo":"cbasnd","timeout_ms":86400000,"request":{"k":20,"samples":1048576,"prune":false}}`)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("clamped solve: %d %s, want 504", status, body)
+	}
+	if d := time.Since(began); d > 10*time.Second {
+		t.Errorf("clamped request took %v, want ~20ms", d)
+	}
+}
+
+func TestSolveErrorsHTTP(t *testing.T) {
+	ts := newTestServer(t)
+	if status, body := doJSON(t, "POST", ts.URL+"/v1/graphs",
+		`{"id":"g","generate":{"kind":"er","n":50,"avgdeg":4,"seed":1}}`); status != http.StatusCreated {
+		t.Fatalf("generate: %d %s", status, body)
+	}
+	cases := []struct {
+		name, body string
+		want       int
+	}{
+		{"unknown graph", `{"graph":"nope","algo":"dgreedy","request":{"k":5}}`, http.StatusNotFound},
+		{"unknown algo", `{"graph":"g","algo":"oracle","request":{"k":5}}`, http.StatusBadRequest},
+		{"invalid k", `{"graph":"g","algo":"dgreedy","request":{"k":0}}`, http.StatusBadRequest},
+		{"unknown request field", `{"graph":"g","algo":"dgreedy","request":{"k":5,"tuning":9}}`, http.StatusBadRequest},
+		{"malformed body", `{"graph":`, http.StatusBadRequest},
+		{"missing request k", `{"graph":"g","algo":"dgreedy"}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if status, body := doJSON(t, "POST", ts.URL+"/v1/solve", tc.body); status != tc.want {
+			t.Errorf("%s: %d %s, want %d", tc.name, status, body, tc.want)
+		}
+	}
+	// Explicit zero samples is valid for greedy-seeded solvers.
+	if status, body := doJSON(t, "POST", ts.URL+"/v1/solve",
+		`{"graph":"g","algo":"cbas","request":{"k":5,"samples":0}}`); status != http.StatusOK {
+		t.Errorf("zero samples: %d %s, want 200", status, body)
+	}
+}

@@ -1,10 +1,27 @@
 // Package waso is the root of a Go reproduction of "Willingness
-// Optimization for Social Group Activity" (PVLDB 2013).
+// Optimization for Social Group Activity" (PVLDB 2013), grown toward a
+// production-scale serving system.
 //
-// The executable experiment harness lives in cmd/waso; the library layers
-// are under internal/: graph (CSR social graph, Eq. 1 willingness), gen
-// (synthetic instance generators, §5), solver (DGreedy, RGreedy, CBAS,
-// CBAS-ND, §3), and the sampling/rng/bitset/stats substrate they share.
+// The code layers strictly, lower layers never importing higher ones:
+//
+//	core    — wire-ready vocabulary: Request (k, starts, samples, seed,
+//	          alpha, sampler, prune — no sentinel values, explicit
+//	          DefaultRequest/Validate), Report, Solution.
+//	graph   — immutable CSR social graph (Eq. 1 willingness) plus the
+//	          versioned binary codec and JSON edge-list ingestion.
+//	solver  — the four paper algorithms behind a registry
+//	          (Register/New/Names) with the context-aware entry point
+//	          Solve(ctx, g, req); cancellation is observed between starts
+//	          and samples, and WithPrep shares a precomputed NodeScore
+//	          ranking across calls.
+//	service — the serving layer: concurrency-safe in-memory graph store
+//	          (load/generate/evict) holding one solver.Prep per graph, and
+//	          the Solve orchestrator with per-request deadlines.
+//	cmd     — the two front ends over the same Request path: cmd/waso
+//	          (batch experiment harness) and cmd/wasod (JSON HTTP server).
+//
+// gen (synthetic instances, §5) feeds graphs into cmd and service;
+// sampling/rng/bitset/stats are the shared substrate.
 //
 // This root package carries no code — only repo-level documentation and
 // cross-package benchmarks such as BenchmarkSamplerCrossover.

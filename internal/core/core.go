@@ -1,44 +1,128 @@
-// Package core holds the small shared vocabulary of the WASO system: the
-// experiment parameters every component agrees on and the Solution value
-// that solvers produce and the harness consumes. Keeping these here (rather
-// than in solver) lets future subsystems — serving, sharding, caching —
-// exchange solutions without importing solver internals.
+// Package core holds the shared, wire-ready vocabulary of the WASO system:
+// the Request every solving entry point accepts, the Report it returns, and
+// the Solution value inside it. Keeping these here (rather than in solver)
+// lets the outer layers — service, serving daemons, future sharding and
+// caching subsystems — exchange work without importing solver internals.
+//
+// Request deliberately has no implicit defaulting: every field means exactly
+// what it says (Samples = 0 really is a zero sample budget), DefaultRequest
+// constructs the canonical starting point, and Validate rejects anything a
+// solver cannot faithfully execute. Decode JSON on top of DefaultRequest to
+// get "absent field = default, present field = explicit" semantics.
 package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"time"
 
 	"waso/internal/graph"
 )
 
-// Params bundles the knobs shared by every WASO run: the group-size bound k
-// of Eq. 1, the root seed all randomness derives from, the per-start sample
-// budget of the randomized solvers, and the worker-pool width.
-type Params struct {
-	K       int    // maximum group size (k in Eq. 1); must be ≥ 1
-	Seed    uint64 // root seed; all sub-streams derive from it
-	Samples int    // random samples per start node (randomized solvers)
-	Workers int    // parallel workers; ≤ 0 means GOMAXPROCS
+// Default tuning values used by DefaultRequest.
+const (
+	DefaultStarts  = 8
+	DefaultSamples = 200
+	DefaultAlpha   = 2.0
+)
+
+// Sampler selects the weighted-sampling backend used by CBAS-ND.
+type Sampler string
+
+const (
+	// SamplerAuto picks linear or Fenwick from the estimated frontier size.
+	SamplerAuto Sampler = "auto"
+	// SamplerLinear forces O(frontier) prefix-scan draws.
+	SamplerLinear Sampler = "linear"
+	// SamplerFenwick forces O(log n) Fenwick-tree draws.
+	SamplerFenwick Sampler = "fenwick"
+)
+
+// Validate reports whether s names a known backend.
+func (s Sampler) Validate() error {
+	switch s {
+	case SamplerAuto, SamplerLinear, SamplerFenwick:
+		return nil
+	}
+	return fmt.Errorf("core: unknown sampler %q (want %q, %q or %q)",
+		s, SamplerAuto, SamplerLinear, SamplerFenwick)
 }
 
-// Validate reports the first invalid field, if any.
-func (p Params) Validate() error {
-	if p.K < 1 {
-		return fmt.Errorf("core: K must be ≥ 1, got %d", p.K)
+// Request fully specifies one solving call. There are no sentinel values:
+// Samples = 0 means "no random samples, greedy completion only", not "use a
+// default". Construct with DefaultRequest and override, or decode JSON over
+// a DefaultRequest so absent fields keep their defaults.
+type Request struct {
+	K       int     `json:"k"`       // maximum group size (Eq. 1); must be ≥ 1
+	Starts  int     `json:"starts"`  // start nodes from the top of the NodeScore ranking; ≥ 1
+	Samples int     `json:"samples"` // random samples per start; ≥ 0 (0 = deterministic completion only)
+	Seed    uint64  `json:"seed"`    // root seed; all sub-streams derive from it
+	Alpha   float64 `json:"alpha"`   // CBAS-ND adapted-probability exponent: P(v) ∝ ΔW(v|S)^α
+	Sampler Sampler `json:"sampler"` // CBAS-ND weighted-sampler backend
+	Prune   bool    `json:"prune"`   // apply the §3.1 upper-bound sample pruning
+
+	// Workers bounds the solver's goroutine pool; ≤ 0 means GOMAXPROCS,
+	// and values above GOMAXPROCS are clamped to it (each worker carries
+	// an O(n) workspace, so the pool never exceeds the hardware).
+	// Scheduling only — it never affects results, so it is not part of the
+	// request identity for caching.
+	Workers int `json:"workers,omitempty"`
+}
+
+// DefaultRequest returns the canonical request for group-size bound k:
+// paper-default tuning, pruning on, automatic sampler backend.
+func DefaultRequest(k int) Request {
+	return Request{
+		K:       k,
+		Starts:  DefaultStarts,
+		Samples: DefaultSamples,
+		Alpha:   DefaultAlpha,
+		Sampler: SamplerAuto,
+		Prune:   true,
 	}
-	if p.Samples < 0 {
-		return fmt.Errorf("core: Samples must be ≥ 0, got %d", p.Samples)
+}
+
+// Validate reports the first field a solver could not faithfully execute.
+func (r Request) Validate() error {
+	if r.K < 1 {
+		return fmt.Errorf("core: K must be ≥ 1, got %d", r.K)
 	}
-	return nil
+	if r.Starts < 1 {
+		return fmt.Errorf("core: Starts must be ≥ 1, got %d", r.Starts)
+	}
+	if r.Samples < 0 {
+		return fmt.Errorf("core: Samples must be ≥ 0, got %d", r.Samples)
+	}
+	if math.IsNaN(r.Alpha) || math.IsInf(r.Alpha, 0) || r.Alpha < 0 {
+		return fmt.Errorf("core: Alpha must be finite and ≥ 0, got %v", r.Alpha)
+	}
+	return r.Sampler.Validate()
+}
+
+// Report is the result of one solving call: the best group found plus the
+// search counters and timing the paper's figures (and the serving metrics)
+// are built from.
+type Report struct {
+	Algo         string        `json:"algo"`
+	Best         Solution      `json:"best"`
+	Starts       int           `json:"starts"`        // start nodes actually explored
+	SamplesDrawn int64         `json:"samples_drawn"` // random samples attempted (0 for dgreedy)
+	Pruned       int64         `json:"pruned"`        // samples abandoned by the upper bound
+	Elapsed      time.Duration `json:"elapsed_ns"`    // wall-clock solve time
+}
+
+// ElapsedMillis returns the wall-clock solve time in milliseconds.
+func (r Report) ElapsedMillis() float64 {
+	return float64(r.Elapsed.Microseconds()) / 1000
 }
 
 // Solution is a candidate activity group: the attendee set F and its
 // willingness W(F) per Eq. 1. Nodes are kept in canonical (ascending) order
 // so solutions compare and hash deterministically.
 type Solution struct {
-	Nodes       []graph.NodeID
-	Willingness float64
+	Nodes       []graph.NodeID `json:"nodes"`
+	Willingness float64        `json:"willingness"`
 }
 
 // NewSolution copies nodes into canonical order and attaches the given

@@ -1,20 +1,98 @@
 package core
 
 import (
+	"encoding/json"
 	"testing"
 
 	"waso/internal/graph"
 )
 
-func TestParamsValidate(t *testing.T) {
-	if err := (Params{K: 5, Samples: 10}).Validate(); err != nil {
-		t.Errorf("valid params rejected: %v", err)
+func TestDefaultRequestValid(t *testing.T) {
+	r := DefaultRequest(5)
+	if err := r.Validate(); err != nil {
+		t.Errorf("DefaultRequest(5) invalid: %v", err)
 	}
-	if err := (Params{K: 0}).Validate(); err == nil {
-		t.Error("K=0 accepted")
+	if r.K != 5 || r.Starts != DefaultStarts || r.Samples != DefaultSamples ||
+		r.Alpha != DefaultAlpha || r.Sampler != SamplerAuto || !r.Prune {
+		t.Errorf("DefaultRequest(5) = %+v", r)
 	}
-	if err := (Params{K: 1, Samples: -1}).Validate(); err == nil {
-		t.Error("negative Samples accepted")
+}
+
+func TestRequestValidate(t *testing.T) {
+	base := DefaultRequest(5)
+	cases := []struct {
+		name   string
+		mut    func(*Request)
+		wantOK bool
+	}{
+		{"default", func(*Request) {}, true},
+		{"zero samples is a real value", func(r *Request) { r.Samples = 0 }, true},
+		{"zero alpha", func(r *Request) { r.Alpha = 0 }, true},
+		{"negative workers means GOMAXPROCS", func(r *Request) { r.Workers = -1 }, true},
+		{"k=0", func(r *Request) { r.K = 0 }, false},
+		{"starts=0", func(r *Request) { r.Starts = 0 }, false},
+		{"negative samples", func(r *Request) { r.Samples = -1 }, false},
+		{"negative alpha", func(r *Request) { r.Alpha = -2 }, false},
+		{"unknown sampler", func(r *Request) { r.Sampler = "quantum" }, false},
+		{"empty sampler", func(r *Request) { r.Sampler = "" }, false},
+	}
+	for _, tc := range cases {
+		r := base
+		tc.mut(&r)
+		if err := r.Validate(); (err == nil) != tc.wantOK {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.wantOK)
+		}
+	}
+}
+
+// TestRequestJSONOverDefaults: decoding a JSON body over DefaultRequest
+// keeps defaults for absent fields and honours explicit zeros — the
+// property that removes the old "Samples ≤ 0 means default" ambiguity.
+func TestRequestJSONOverDefaults(t *testing.T) {
+	r := DefaultRequest(0)
+	if err := json.Unmarshal([]byte(`{"k":7,"samples":0,"prune":false}`), &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.K != 7 {
+		t.Errorf("K = %d, want 7", r.K)
+	}
+	if r.Samples != 0 {
+		t.Errorf("Samples = %d, want explicit 0", r.Samples)
+	}
+	if r.Prune {
+		t.Error("explicit prune:false ignored")
+	}
+	if r.Starts != DefaultStarts || r.Alpha != DefaultAlpha || r.Sampler != SamplerAuto {
+		t.Errorf("absent fields lost their defaults: %+v", r)
+	}
+	if err := r.Validate(); err != nil {
+		t.Errorf("merged request invalid: %v", err)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	in := Report{
+		Algo:         "cbasnd",
+		Best:         NewSolution([]graph.NodeID{3, 1}, 4.5),
+		Starts:       8,
+		SamplesDrawn: 1600,
+		Pruned:       12,
+		Elapsed:      1500000,
+	}
+	blob, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Report
+	if err := json.Unmarshal(blob, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Algo != in.Algo || !out.Best.Equal(in.Best) || out.Best.Willingness != in.Best.Willingness ||
+		out.SamplesDrawn != in.SamplesDrawn || out.Pruned != in.Pruned || out.Elapsed != in.Elapsed {
+		t.Errorf("round trip lost data: %+v vs %+v", out, in)
+	}
+	if in.ElapsedMillis() != 1.5 {
+		t.Errorf("ElapsedMillis = %v, want 1.5", in.ElapsedMillis())
 	}
 }
 

@@ -1,0 +1,257 @@
+// Package service is the serving layer between the solver library and the
+// network: a concurrency-safe in-memory store of long-lived social graphs
+// plus a request orchestrator. Each stored graph carries its precomputed
+// NodeScore ranking (solver.Prep), built once at load time and shared by
+// every request against that graph — the amortization that makes many
+// concurrent (k, budget) queries against one graph cheap, per the
+// scale-adaptive serving model of Shuai et al.
+//
+// Layering: core (DTOs) → graph → solver → service → cmd/wasod. The service
+// owns graph lifetime (load/generate/evict) and per-request deadlines; it
+// knows nothing about HTTP.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"waso/internal/core"
+	"waso/internal/gen"
+	"waso/internal/graph"
+	"waso/internal/solver"
+)
+
+// Sentinel errors, used by transports to pick status codes.
+var (
+	// ErrNotFound reports an unknown graph id.
+	ErrNotFound = errors.New("service: graph not found")
+	// ErrExists reports a Load/Generate onto an id already in use.
+	ErrExists = errors.New("service: graph id already exists")
+	// ErrInvalid wraps caller mistakes: bad ids, unknown algorithms,
+	// invalid requests, graphs that fail validation.
+	ErrInvalid = errors.New("service: invalid argument")
+)
+
+// Config tunes a Service.
+type Config struct {
+	// DefaultTimeout bounds each Solve whose context carries no deadline of
+	// its own; 0 means no implicit deadline.
+	DefaultTimeout time.Duration
+	// MaxGraphs caps the number of resident graphs; 0 means unlimited.
+	// Load/Generate beyond the cap fail — eviction is the caller's policy.
+	MaxGraphs int
+	// MaxNodes caps the node count of any loaded or generated graph; 0
+	// means unlimited. This is the guard that keeps one generate request
+	// from allocating unbounded memory server-side.
+	MaxNodes int
+	// MaxEdges caps the (estimated, for generate specs) undirected edge
+	// count of any resident graph; 0 means unlimited. Bounds dense specs
+	// whose node count alone looks harmless.
+	MaxEdges int
+}
+
+// GraphInfo is the wire-ready description of one resident graph.
+type GraphInfo struct {
+	ID        string    `json:"id"`
+	Nodes     int       `json:"nodes"`
+	Edges     int       `json:"edges"`
+	AvgDegree float64   `json:"avg_degree"`
+	Source    string    `json:"source"` // provenance: "upload", "binary", gen.Spec string, ...
+	CreatedAt time.Time `json:"created_at"`
+}
+
+// entry pairs a graph with its shared precomputation.
+type entry struct {
+	g    *graph.Graph
+	prep *solver.Prep
+	info GraphInfo
+}
+
+// Service is the in-memory graph store and solve orchestrator. All methods
+// are safe for concurrent use.
+type Service struct {
+	cfg Config
+
+	mu     sync.RWMutex
+	graphs map[string]*entry
+}
+
+// New returns an empty Service.
+func New(cfg Config) *Service {
+	return &Service{cfg: cfg, graphs: make(map[string]*entry)}
+}
+
+// Load stores g under id, precomputing its NodeScore ranking. The source
+// string records provenance for List. Fails with ErrExists if id is taken
+// and ErrInvalid for empty ids or empty graphs.
+func (s *Service) Load(id string, g *graph.Graph, source string) (GraphInfo, error) {
+	if id == "" {
+		return GraphInfo{}, fmt.Errorf("%w: empty graph id", ErrInvalid)
+	}
+	if g == nil || g.N() == 0 {
+		return GraphInfo{}, fmt.Errorf("%w: empty graph", ErrInvalid)
+	}
+	if s.cfg.MaxNodes > 0 && g.N() > s.cfg.MaxNodes {
+		return GraphInfo{}, fmt.Errorf("%w: graph has %d nodes, cap is %d", ErrInvalid, g.N(), s.cfg.MaxNodes)
+	}
+	if s.cfg.MaxEdges > 0 && g.M() > s.cfg.MaxEdges {
+		return GraphInfo{}, fmt.Errorf("%w: graph has %d edges, cap is %d", ErrInvalid, g.M(), s.cfg.MaxEdges)
+	}
+	// Cheap precheck so a duplicate id or full store fails before the
+	// O(n log n) ranking pass; the write-locked recheck below stays
+	// authoritative under races.
+	if err := s.admit(id); err != nil {
+		return GraphInfo{}, err
+	}
+	// The ranking pass is O(n log n + m); do it outside the lock so a large
+	// upload never stalls concurrent solves.
+	e := &entry{
+		g:    g,
+		prep: solver.NewPrep(g),
+		info: GraphInfo{
+			ID:        id,
+			Nodes:     g.N(),
+			Edges:     g.M(),
+			AvgDegree: g.AvgDegree(),
+			Source:    source,
+			CreatedAt: time.Now().UTC(),
+		},
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.admitLocked(id); err != nil {
+		return GraphInfo{}, err
+	}
+	s.graphs[id] = e
+	return e.info, nil
+}
+
+// admit read-locks and runs the id/cap admission checks.
+func (s *Service) admit(id string) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.admitLocked(id)
+}
+
+// admitLocked checks duplicate ids and the resident-graph cap. Callers
+// hold s.mu (either mode).
+func (s *Service) admitLocked(id string) error {
+	if _, dup := s.graphs[id]; dup {
+		return fmt.Errorf("%w: %q", ErrExists, id)
+	}
+	if s.cfg.MaxGraphs > 0 && len(s.graphs) >= s.cfg.MaxGraphs {
+		return fmt.Errorf("%w: graph cap %d reached, evict first", ErrInvalid, s.cfg.MaxGraphs)
+	}
+	return nil
+}
+
+// Generate builds a synthetic instance from spec and stores it under id.
+// The node- and edge-count caps and admission checks run before the
+// expensive build, so oversized specs are rejected for free.
+func (s *Service) Generate(id string, spec gen.Spec) (GraphInfo, error) {
+	if s.cfg.MaxNodes > 0 && spec.N > s.cfg.MaxNodes {
+		return GraphInfo{}, fmt.Errorf("%w: spec asks for %d nodes, cap is %d", ErrInvalid, spec.N, s.cfg.MaxNodes)
+	}
+	// Estimated undirected edges: n·avgdeg/2. NaN/Inf degrees are rejected
+	// by spec.Build, but bound the estimate here before any allocation.
+	if s.cfg.MaxEdges > 0 && spec.AvgDeg > 0 &&
+		float64(spec.N)*spec.AvgDeg/2 > float64(s.cfg.MaxEdges) {
+		return GraphInfo{}, fmt.Errorf("%w: spec asks for ≈%.0f edges, cap is %d",
+			ErrInvalid, float64(spec.N)*spec.AvgDeg/2, s.cfg.MaxEdges)
+	}
+	if err := s.admit(id); err != nil {
+		return GraphInfo{}, err
+	}
+	g, err := spec.Build()
+	if err != nil {
+		return GraphInfo{}, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	return s.Load(id, g, "generate:"+spec.String())
+}
+
+// LoadEdgeList validates an edge-list document's declared size against the
+// caps before its O(n) build, then stores the result — the ingestion path
+// for untrusted uploads.
+func (s *Service) LoadEdgeList(id string, doc graph.EdgeListJSON) (GraphInfo, error) {
+	if s.cfg.MaxNodes > 0 && doc.Nodes > s.cfg.MaxNodes {
+		return GraphInfo{}, fmt.Errorf("%w: upload declares %d nodes, cap is %d", ErrInvalid, doc.Nodes, s.cfg.MaxNodes)
+	}
+	if s.cfg.MaxEdges > 0 && len(doc.Edges) > s.cfg.MaxEdges {
+		return GraphInfo{}, fmt.Errorf("%w: upload declares %d edges, cap is %d", ErrInvalid, len(doc.Edges), s.cfg.MaxEdges)
+	}
+	if err := s.admit(id); err != nil {
+		return GraphInfo{}, err
+	}
+	g, err := doc.Build()
+	if err != nil {
+		return GraphInfo{}, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	return s.Load(id, g, "upload")
+}
+
+// Get returns the stored graph and its metadata.
+func (s *Service) Get(id string) (*graph.Graph, GraphInfo, error) {
+	s.mu.RLock()
+	e := s.graphs[id]
+	s.mu.RUnlock()
+	if e == nil {
+		return nil, GraphInfo{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return e.g, e.info, nil
+}
+
+// List returns metadata for every resident graph, ordered by id.
+func (s *Service) List() []GraphInfo {
+	s.mu.RLock()
+	out := make([]GraphInfo, 0, len(s.graphs))
+	for _, e := range s.graphs {
+		out = append(out, e.info)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Evict removes the graph. In-flight solves against it finish normally —
+// they hold their own references.
+func (s *Service) Evict(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.graphs[id]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	delete(s.graphs, id)
+	return nil
+}
+
+// Solve runs the named algorithm against the stored graph, sharing the
+// graph's precomputed ranking and applying the configured default timeout
+// when ctx carries no deadline. Cancellation and deadline errors pass
+// through as ctx.Err() values (context.Canceled, context.DeadlineExceeded).
+func (s *Service) Solve(ctx context.Context, graphID, algo string, req core.Request) (core.Report, error) {
+	s.mu.RLock()
+	e := s.graphs[graphID]
+	s.mu.RUnlock()
+	if e == nil {
+		return core.Report{}, fmt.Errorf("%w: %q", ErrNotFound, graphID)
+	}
+	sv, err := solver.New(algo)
+	if err != nil {
+		return core.Report{}, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if err := req.Validate(); err != nil {
+		return core.Report{}, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if s.cfg.DefaultTimeout > 0 {
+		if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.DefaultTimeout)
+			defer cancel()
+		}
+	}
+	return sv.Solve(solver.WithPrep(ctx, e.prep), e.g, req)
+}

@@ -1,0 +1,242 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"waso/internal/core"
+	"waso/internal/gen"
+	"waso/internal/graph"
+	"waso/internal/solver"
+)
+
+func testSpec(n int) gen.Spec {
+	return gen.Spec{Kind: "powerlaw", N: n, AvgDeg: 8, Seed: 1}
+}
+
+func TestStoreLifecycle(t *testing.T) {
+	s := New(Config{})
+	info, err := s.Generate("g1", testSpec(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != "g1" || info.Nodes != 200 || info.Edges == 0 {
+		t.Errorf("info = %+v", info)
+	}
+	if _, err := s.Generate("g1", testSpec(100)); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate id: err = %v, want ErrExists", err)
+	}
+	if _, err := s.Generate("g2", gen.Spec{Kind: "mystery", N: 10}); !errors.Is(err, ErrInvalid) {
+		t.Errorf("bad spec: err = %v, want ErrInvalid", err)
+	}
+	if _, err := s.Load("", nil, "upload"); !errors.Is(err, ErrInvalid) {
+		t.Errorf("empty id: err = %v, want ErrInvalid", err)
+	}
+
+	g, info2, err := s.Get("g1")
+	if err != nil || g.N() != 200 || info2.ID != "g1" {
+		t.Fatalf("Get(g1) = %v, %+v, %v", g, info2, err)
+	}
+	if _, _, err := s.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get(nope): err = %v, want ErrNotFound", err)
+	}
+
+	if _, err := s.Generate("a0", testSpec(50)); err != nil {
+		t.Fatal(err)
+	}
+	list := s.List()
+	if len(list) != 2 || list[0].ID != "a0" || list[1].ID != "g1" {
+		t.Errorf("List() = %+v, want [a0 g1]", list)
+	}
+
+	if err := s.Evict("g1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Evict("g1"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double evict: err = %v, want ErrNotFound", err)
+	}
+	if _, _, err := s.Get("g1"); !errors.Is(err, ErrNotFound) {
+		t.Error("evicted graph still resident")
+	}
+}
+
+func TestMaxGraphs(t *testing.T) {
+	s := New(Config{MaxGraphs: 1})
+	if _, err := s.Generate("g1", testSpec(50)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Generate("g2", testSpec(50)); !errors.Is(err, ErrInvalid) {
+		t.Errorf("over cap: err = %v, want ErrInvalid", err)
+	}
+	if err := s.Evict("g1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Generate("g2", testSpec(50)); err != nil {
+		t.Errorf("after evict: %v", err)
+	}
+}
+
+// TestMaxNodes: the node cap rejects oversized generate specs before the
+// build runs, and oversized uploads at Load.
+func TestMaxNodes(t *testing.T) {
+	s := New(Config{MaxNodes: 100})
+	if _, err := s.Generate("big", testSpec(101)); !errors.Is(err, ErrInvalid) {
+		t.Errorf("over-cap generate: err = %v, want ErrInvalid", err)
+	}
+	if _, err := s.Generate("ok", testSpec(100)); err != nil {
+		t.Errorf("at-cap generate: %v", err)
+	}
+	g, _, err := s.Get("ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := New(Config{MaxNodes: 50})
+	if _, err := small.Load("up", g, "upload"); !errors.Is(err, ErrInvalid) {
+		t.Errorf("over-cap load: err = %v, want ErrInvalid", err)
+	}
+	// Edge-list documents are rejected on their declared sizes before the
+	// build allocates anything.
+	if _, err := s.LoadEdgeList("doc", graph.EdgeListJSON{Nodes: 101}); !errors.Is(err, ErrInvalid) {
+		t.Errorf("over-cap edge-list nodes: err = %v, want ErrInvalid", err)
+	}
+	dense := New(Config{MaxEdges: 1})
+	if _, err := dense.LoadEdgeList("doc", graph.EdgeListJSON{
+		Nodes: 3,
+		Edges: []graph.EdgeListEdge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}},
+	}); !errors.Is(err, ErrInvalid) {
+		t.Errorf("over-cap edge-list edges: err = %v, want ErrInvalid", err)
+	}
+	if _, err := dense.Generate("dense", gen.Spec{Kind: "er", N: 1000, AvgDeg: 1e9, Seed: 1}); !errors.Is(err, ErrInvalid) {
+		t.Errorf("dense generate spec: err = %v, want ErrInvalid", err)
+	}
+}
+
+// TestSolveMatchesDirect: the service path (shared Prep, timeout wrapper)
+// returns bit-identical results to calling the solver directly.
+func TestSolveMatchesDirect(t *testing.T) {
+	ctx := context.Background()
+	s := New(Config{})
+	if _, err := s.Generate("g", testSpec(500)); err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := s.Get("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := core.DefaultRequest(10)
+	req.Samples = 40
+	req.Seed = 7
+	for _, algo := range solver.Names() {
+		got, err := s.Solve(ctx, "g", algo, req)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		sv, err := solver.New(algo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sv.Solve(ctx, g, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Best.Equal(want.Best) || got.Best.Willingness != want.Best.Willingness ||
+			got.SamplesDrawn != want.SamplesDrawn || got.Pruned != want.Pruned {
+			t.Errorf("%s: service %v != direct %v", algo, got.Best, want.Best)
+		}
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	ctx := context.Background()
+	s := New(Config{})
+	if _, err := s.Generate("g", testSpec(100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(ctx, "missing", "dgreedy", core.DefaultRequest(5)); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown graph: err = %v, want ErrNotFound", err)
+	}
+	if _, err := s.Solve(ctx, "g", "oracle", core.DefaultRequest(5)); !errors.Is(err, ErrInvalid) {
+		t.Errorf("unknown algo: err = %v, want ErrInvalid", err)
+	}
+	if _, err := s.Solve(ctx, "g", "dgreedy", core.DefaultRequest(0)); !errors.Is(err, ErrInvalid) {
+		t.Errorf("invalid request: err = %v, want ErrInvalid", err)
+	}
+}
+
+// TestSolveDefaultTimeout: a service-level default timeout bounds requests
+// that carry no deadline of their own.
+func TestSolveDefaultTimeout(t *testing.T) {
+	s := New(Config{DefaultTimeout: time.Millisecond})
+	if _, err := s.Generate("g", testSpec(2000)); err != nil {
+		t.Fatal(err)
+	}
+	req := core.DefaultRequest(20)
+	req.Samples = 1 << 20
+	req.Prune = false
+	if _, err := s.Solve(context.Background(), "g", "cbasnd", req); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want context.DeadlineExceeded", err)
+	}
+	// An explicit caller deadline wins over the default.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	req.Samples = 10
+	if _, err := s.Solve(ctx, "g", "cbasnd", req); err != nil {
+		t.Errorf("caller deadline run failed: %v", err)
+	}
+}
+
+// TestConcurrentSolves exercises the RWMutex store and the shared Prep
+// under -race: many goroutines solving against the same graph while others
+// load and evict unrelated graphs.
+func TestConcurrentSolves(t *testing.T) {
+	ctx := context.Background()
+	s := New(Config{})
+	if _, err := s.Generate("shared", testSpec(300)); err != nil {
+		t.Fatal(err)
+	}
+	req := core.DefaultRequest(8)
+	req.Samples = 20
+	want, err := s.Solve(ctx, "shared", "cbas", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 32)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := s.Solve(ctx, "shared", "cbas", req)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if !got.Best.Equal(want.Best) {
+				errCh <- errors.New("concurrent solve diverged from reference")
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := string(rune('a' + i))
+			if _, err := s.Generate(id, testSpec(50)); err != nil {
+				errCh <- err
+				return
+			}
+			if err := s.Evict(id); err != nil {
+				errCh <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}

@@ -1,12 +1,22 @@
 package solver
 
 import (
+	"context"
 	"math"
 
 	"waso/internal/core"
 	"waso/internal/graph"
 	"waso/internal/rng"
 )
+
+// The four paper algorithms self-register so New/Names/All see them without
+// a hardcoded list; future algorithms register the same way.
+func init() {
+	Register("dgreedy", func() Solver { return DGreedy{} })
+	Register("rgreedy", func() Solver { return RGreedy{} })
+	Register("cbas", func() Solver { return CBAS{} })
+	Register("cbasnd", func() Solver { return CBASND{} })
+}
 
 // DGreedy is the deterministic baseline: from each start node it repeatedly
 // adds the frontier node with the largest marginal willingness gain ΔW(v|S)
@@ -18,9 +28,9 @@ type DGreedy struct{}
 func (DGreedy) Name() string { return "dgreedy" }
 
 // Solve implements Solver.
-func (DGreedy) Solve(g *graph.Graph, k int, opts Options) (Result, error) {
-	return multiStart("dgreedy", g, k, opts,
-		func(ws *workspace, start graph.NodeID, _ int, _ *rng.Stream, _ Options) startOutcome {
+func (DGreedy) Solve(ctx context.Context, g *graph.Graph, req core.Request) (core.Report, error) {
+	return multiStart(ctx, "dgreedy", g, req,
+		func(_ context.Context, ws *workspace, start graph.NodeID, _ int, _ *rng.Stream, _ core.Request) startOutcome {
 			ws.growGreedy(start)
 			return startOutcome{sol: ws.snapshot()}
 		})
@@ -28,21 +38,24 @@ func (DGreedy) Solve(g *graph.Graph, k int, opts Options) (Result, error) {
 
 // RGreedy is the randomized baseline: each growth step draws a frontier
 // node with probability proportional to the willingness of the resulting
-// group, W(S ∪ {v}); the best of Options.Samples groups per start wins.
+// group, W(S ∪ {v}); the best of Request.Samples groups per start wins.
 type RGreedy struct{}
 
 // Name implements Solver.
 func (RGreedy) Name() string { return "rgreedy" }
 
 // Solve implements Solver.
-func (RGreedy) Solve(g *graph.Graph, k int, opts Options) (Result, error) {
-	return multiStart("rgreedy", g, k, opts,
-		func(ws *workspace, start graph.NodeID, startIdx int, root *rng.Stream, o Options) startOutcome {
+func (RGreedy) Solve(ctx context.Context, g *graph.Graph, req core.Request) (core.Report, error) {
+	return multiStart(ctx, "rgreedy", g, req,
+		func(ctx context.Context, ws *workspace, start graph.NodeID, startIdx int, root *rng.Stream, r core.Request) startOutcome {
 			oc := startOutcome{sol: core.Solution{Willingness: math.Inf(-1)}}
-			for s := 0; s < o.Samples; s++ {
-				r := root.SplitN(uint64(startIdx), uint64(s))
+			for s := 0; s < r.Samples; s++ {
+				if ctx.Err() != nil {
+					return oc
+				}
+				stream := root.SplitN(uint64(startIdx), uint64(s))
 				oc.samples++
-				ws.growWeighted(start, r, weightGroup, 0, false)
+				ws.growWeighted(start, stream, weightGroup, 0, false)
 				if ws.will > oc.sol.Willingness {
 					oc.sol = ws.snapshot()
 				}
@@ -63,13 +76,13 @@ type CBAS struct{}
 func (CBAS) Name() string { return "cbas" }
 
 // Solve implements Solver.
-func (CBAS) Solve(g *graph.Graph, k int, opts Options) (Result, error) {
-	return multiStart("cbas", g, k, opts, cbasStart(false))
+func (CBAS) Solve(ctx context.Context, g *graph.Graph, req core.Request) (core.Report, error) {
+	return multiStart(ctx, "cbas", g, req, cbasStart(false))
 }
 
 // CBASND is CBAS with non-uniform adapted probabilities (§3.2): frontier
 // nodes are drawn with P(v) ∝ ΔW(v|S)^α, concentrating samples on
-// high-gain extensions. α (Options.Alpha) interpolates between uniform-ish
+// high-gain extensions. α (Request.Alpha) interpolates between uniform-ish
 // exploration (α→0) and greedy exploitation (α→∞).
 type CBASND struct{}
 
@@ -77,25 +90,27 @@ type CBASND struct{}
 func (CBASND) Name() string { return "cbasnd" }
 
 // Solve implements Solver.
-func (CBASND) Solve(g *graph.Graph, k int, opts Options) (Result, error) {
-	return multiStart("cbasnd", g, k, opts, cbasStart(true))
+func (CBASND) Solve(ctx context.Context, g *graph.Graph, req core.Request) (core.Report, error) {
+	return multiStart(ctx, "cbasnd", g, req, cbasStart(true))
 }
 
 // cbasStart builds the per-start search shared by CBAS (uniform draws) and
 // CBASND (adapted-probability draws).
 func cbasStart(nonuniform bool) startRunner {
-	return func(ws *workspace, start graph.NodeID, startIdx int, root *rng.Stream, o Options) startOutcome {
+	return func(ctx context.Context, ws *workspace, start graph.NodeID, startIdx int, root *rng.Stream, r core.Request) startOutcome {
 		ws.growGreedy(start)
 		oc := startOutcome{sol: ws.snapshot()}
-		prune := !o.DisablePrune
-		for s := 0; s < o.Samples; s++ {
-			r := root.SplitN(uint64(startIdx), uint64(s))
+		for s := 0; s < r.Samples; s++ {
+			if ctx.Err() != nil {
+				return oc
+			}
+			stream := root.SplitN(uint64(startIdx), uint64(s))
 			oc.samples++
 			var abandoned bool
 			if nonuniform {
-				abandoned = ws.growWeighted(start, r, weightDeltaPow, oc.sol.Willingness, prune)
+				abandoned = ws.growWeighted(start, stream, weightDeltaPow, oc.sol.Willingness, r.Prune)
 			} else {
-				abandoned = ws.growUniform(start, r, oc.sol.Willingness, prune)
+				abandoned = ws.growUniform(start, stream, oc.sol.Willingness, r.Prune)
 			}
 			if abandoned {
 				oc.pruned++

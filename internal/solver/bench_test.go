@@ -1,8 +1,10 @@
 package solver
 
 import (
+	"context"
 	"testing"
 
+	"waso/internal/core"
 	"waso/internal/gen"
 	"waso/internal/graph"
 	"waso/internal/rng"
@@ -21,15 +23,38 @@ func benchGraph(b *testing.B, n int) *graph.Graph {
 // power-law instance (k=10, 50 samples per start, single worker so the
 // numbers measure algorithmic cost, not parallel speedup).
 func BenchmarkSolvers(b *testing.B) {
+	ctx := context.Background()
 	g := benchGraph(b, 1000)
 	for _, s := range All() {
 		b.Run(s.Name(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := s.Solve(g, 10, Options{Samples: 50, Seed: uint64(i), Workers: 1}); err != nil {
+				r := core.DefaultRequest(10)
+				r.Samples = 50
+				r.Seed = uint64(i)
+				r.Workers = 1
+				if _, err := s.Solve(ctx, g, r); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkSolvePrepped measures the serving-path win of a shared Prep: one
+// Solve per iteration with the NodeScore ranking precomputed once, the way
+// the service layer issues requests against a cached graph.
+func BenchmarkSolvePrepped(b *testing.B) {
+	g := benchGraph(b, 1000)
+	ctx := WithPrep(context.Background(), NewPrep(g))
+	r := core.DefaultRequest(10)
+	r.Samples = 50
+	r.Workers = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Seed = uint64(i)
+		if _, err := (CBASND{}).Solve(ctx, g, r); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -38,25 +63,26 @@ func BenchmarkSolvers(b *testing.B) {
 func BenchmarkGrowth(b *testing.B) {
 	g := benchGraph(b, 1000)
 	start := PickStarts(g, 1)[0]
+	prep := NewPrep(g)
 	for _, mode := range []string{"uniform", "weighted-linear", "weighted-fenwick", "greedy"} {
 		b.Run(mode, func(b *testing.B) {
-			opts := Options{Alpha: 2}
+			r := core.DefaultRequest(10)
 			if mode == "weighted-fenwick" {
-				opts.Sampler = SamplerFenwick
+				r.Sampler = core.SamplerFenwick
 			} else {
-				opts.Sampler = SamplerLinear
+				r.Sampler = core.SamplerLinear
 			}
-			ws := newWorkspace(g, 10, opts.withDefaults(), topScoreSums(nodeScores(g), 10))
+			ws := newWorkspace(g, r, prep.topSums(10))
 			root := rng.New(7)
 			for i := 0; i < b.N; i++ {
-				r := root.SplitN(0, uint64(i))
+				stream := root.SplitN(0, uint64(i))
 				switch mode {
 				case "uniform":
-					ws.growUniform(start, r, 0, false)
+					ws.growUniform(start, stream, 0, false)
 				case "greedy":
 					ws.growGreedy(start)
 				default:
-					ws.growWeighted(start, r, weightDeltaPow, 0, false)
+					ws.growWeighted(start, stream, weightDeltaPow, 0, false)
 				}
 			}
 		})

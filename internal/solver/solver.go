@@ -11,12 +11,23 @@
 //     nodes are drawn proportionally to ΔW(v|S)^α, steering samples toward
 //     high-willingness groups while retaining exploration.
 //
+// Solvers are looked up by name through a registry (Register/New/Names);
+// the four built-ins self-register, and external packages can plug in
+// additional algorithms without touching this package.
+//
 // Every solver runs the same deterministic multi-start driver: the top
-// Options.Starts nodes by NodeScore each get an independent search whose
+// Request.Starts nodes by NodeScore each get an independent search whose
 // randomness derives from rng.Split sub-streams labelled (start index,
 // sample index). Results are reduced in start order, so the outcome of a
-// run depends only on (graph, k, Options.Seed) — never on Options.Workers
-// or goroutine scheduling.
+// run depends only on (graph, Request minus Workers) — never on the worker
+// count or goroutine scheduling.
+//
+// Solve is context-aware: cancellation and deadlines are observed between
+// starts and between samples, and a cancelled Solve returns ctx.Err()
+// without leaking goroutines. Long-lived callers that solve many requests
+// against the same graph can precompute the NodeScore ranking once with
+// NewPrep and attach it via WithPrep; Solve picks it up from the context
+// and skips the per-call ranking pass.
 //
 // CBAS and CBASND seed their per-start incumbent with the deterministic
 // greedy completion from that start. This tightens the pruning bound from
@@ -25,6 +36,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -37,162 +49,165 @@ import (
 	"waso/internal/rng"
 )
 
-// SamplerKind selects the weighted-sampling backend used by CBASND.
-type SamplerKind int
-
-const (
-	// SamplerAuto picks linear or Fenwick from the estimated frontier size
-	// (k · average degree) against FenwickCrossover.
-	SamplerAuto SamplerKind = iota
-	// SamplerLinear forces O(frontier) prefix-scan draws.
-	SamplerLinear
-	// SamplerFenwick forces O(log n) Fenwick-tree draws.
-	SamplerFenwick
-)
-
-// FenwickCrossover is the estimated frontier size above which SamplerAuto
-// switches CBASND from linear scans to a Fenwick tree. The default comes
-// from BenchmarkSamplerCrossover (see BENCH_solvers.json).
+// FenwickCrossover is the estimated frontier size above which
+// core.SamplerAuto switches CBASND from linear scans to a Fenwick tree. The
+// default comes from BenchmarkSamplerCrossover (see BENCH_solvers.json).
 const FenwickCrossover = 256
 
-// Default parameter values applied by Options.withDefaults.
-const (
-	DefaultStarts  = 8
-	DefaultSamples = 200
-	DefaultAlpha   = 2.0
-)
-
-// Options configures a Solve call. The zero value is usable: every field
-// defaults to the constants above (Workers to GOMAXPROCS, Seed to 0).
-type Options struct {
-	Starts  int     // start nodes taken from the top of the NodeScore ranking
-	Samples int     // random samples per start (randomized solvers only)
-	Workers int     // worker goroutines; ≤ 0 means GOMAXPROCS
-	Seed    uint64  // root seed; sub-streams derive from (Seed, start, sample)
-	Alpha   float64 // CBASND adapted-probability exponent: P(v) ∝ ΔW(v|S)^α
-
-	// DisablePrune turns off the upper-bound sample pruning in CBAS/CBASND.
-	DisablePrune bool
-	// Sampler selects the CBASND weighted-sampler backend.
-	Sampler SamplerKind
-}
-
-// FromParams derives Options from the shared experiment parameters;
-// solver-specific knobs (Starts, Alpha, pruning, sampler backend) keep
-// their zero-value defaults. Note that Options cannot express a zero
-// sample budget: Samples ≤ 0 means "use DefaultSamples".
-func FromParams(p core.Params) Options {
-	return Options{Samples: p.Samples, Workers: p.Workers, Seed: p.Seed}
-}
-
-func (o Options) withDefaults() Options {
-	if o.Starts <= 0 {
-		o.Starts = DefaultStarts
-	}
-	if o.Samples <= 0 {
-		o.Samples = DefaultSamples
-	}
-	if o.Workers <= 0 {
-		o.Workers = runtime.GOMAXPROCS(0)
-	}
-	if o.Alpha <= 0 {
-		o.Alpha = DefaultAlpha
-	}
-	return o
-}
-
-// Result reports the best group found plus search counters.
-type Result struct {
-	Algo         string
-	Best         core.Solution
-	Starts       int           // start nodes actually explored
-	SamplesDrawn int64         // random samples attempted (0 for DGreedy)
-	Pruned       int64         // samples abandoned by the upper bound
-	Elapsed      time.Duration // wall-clock Solve time
-}
-
-// Solver finds a connected group F, |F| ≤ k, maximizing W(F) per Eq. 1.
+// Solver finds a connected group F, |F| ≤ req.K, maximizing W(F) per Eq. 1.
+// Implementations must honour ctx cancellation between units of work and
+// derive all randomness from req.Seed so results are reproducible.
 type Solver interface {
 	Name() string
-	Solve(g *graph.Graph, k int, opts Options) (Result, error)
+	Solve(ctx context.Context, g *graph.Graph, req core.Request) (core.Report, error)
 }
 
-// New returns the named solver: "dgreedy", "rgreedy", "cbas" or "cbasnd".
+// registry maps solver names to factories, preserving registration order
+// for presentation (Names, All).
+var registry = struct {
+	sync.RWMutex
+	order     []string
+	factories map[string]func() Solver
+}{factories: make(map[string]func() Solver)}
+
+// Register makes a solver constructible by name through New. It panics on
+// an empty name, nil factory, or duplicate registration — registration is
+// an init-time programming contract, like database/sql drivers.
+func Register(name string, factory func() Solver) {
+	if name == "" || factory == nil {
+		panic("solver: Register with empty name or nil factory")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.factories[name]; dup {
+		panic("solver: Register called twice for " + name)
+	}
+	registry.order = append(registry.order, name)
+	registry.factories[name] = factory
+}
+
+// New returns a fresh instance of the named solver.
 func New(name string) (Solver, error) {
-	for _, s := range All() {
-		if s.Name() == name {
-			return s, nil
-		}
+	registry.RLock()
+	factory := registry.factories[name]
+	registry.RUnlock()
+	if factory == nil {
+		return nil, fmt.Errorf("solver: unknown algorithm %q (have %v)", name, Names())
 	}
-	return nil, fmt.Errorf("solver: unknown algorithm %q (have %v)", name, Names())
+	return factory(), nil
 }
 
-// All returns one instance of every solver in canonical presentation order
-// (baselines first, paper contributions last).
-func All() []Solver {
-	return []Solver{DGreedy{}, RGreedy{}, CBAS{}, CBASND{}}
-}
-
-// Names lists the registered solver names in presentation order.
+// Names lists the registered solver names in registration order.
 func Names() []string {
-	all := All()
-	names := make([]string, len(all))
-	for i, s := range all {
-		names[i] = s.Name()
+	registry.RLock()
+	defer registry.RUnlock()
+	return append([]string(nil), registry.order...)
+}
+
+// All returns one instance of every registered solver in registration order
+// (baselines first, paper contributions last for the built-ins).
+func All() []Solver {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]Solver, 0, len(registry.order))
+	for _, name := range registry.order {
+		out = append(out, registry.factories[name]())
 	}
-	return names
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Precomputation
+
+// Prep is the graph-dependent precomputation every Solve performs: the
+// full descending NodeScore ranking (CBAS phase 1) and its score sequence.
+// It is immutable after NewPrep and safe to share across concurrent Solve
+// calls, so a serving layer computes it once per graph and attaches it to
+// request contexts with WithPrep.
+type Prep struct {
+	g      *graph.Graph
+	ranked []graph.NodeID // node ids by NodeScore descending, id ascending
+	sorted []float64      // NodeScore of ranked[i] — the descending score sequence
+}
+
+// NewPrep ranks every node of g by NodeScore. O(n log n + m). The per-node
+// score array is construction scratch only — a resident Prep retains just
+// the ranking and its score sequence.
+func NewPrep(g *graph.Graph) *Prep {
+	n := g.N()
+	scores := make([]float64, n)
+	p := &Prep{g: g, ranked: make([]graph.NodeID, n)}
+	for i := range scores {
+		scores[i] = g.NodeScore(graph.NodeID(i))
+		p.ranked[i] = graph.NodeID(i)
+	}
+	sort.Slice(p.ranked, func(a, b int) bool {
+		va, vb := p.ranked[a], p.ranked[b]
+		if scores[va] != scores[vb] {
+			return scores[va] > scores[vb]
+		}
+		return va < vb
+	})
+	p.sorted = make([]float64, n)
+	for i, v := range p.ranked {
+		p.sorted[i] = scores[v]
+	}
+	return p
+}
+
+// Graph returns the graph this Prep was built for.
+func (p *Prep) Graph() *graph.Graph { return p.g }
+
+// Starts returns the s best start candidates per CBAS phase 1 (§3.1),
+// capped at n. The slice aliases internal storage; do not modify.
+func (p *Prep) Starts(s int) []graph.NodeID {
+	if s > len(p.ranked) {
+		s = len(p.ranked)
+	}
+	return p.ranked[:s]
+}
+
+// topSums returns prefix sums of the descending NodeScore ranking:
+// topSum[r] = the largest possible total score of r distinct nodes. The
+// pruning bound charges each remaining addition its own node's score, so
+// no completion can gain more than topSum[k−|S|].
+func (p *Prep) topSums(k int) []float64 {
+	if k > len(p.sorted) {
+		k = len(p.sorted)
+	}
+	topSum := make([]float64, k+1)
+	for r := 1; r <= k; r++ {
+		topSum[r] = topSum[r-1] + p.sorted[r-1]
+	}
+	return topSum
+}
+
+// prepCtxKey carries a *Prep through a context.
+type prepCtxKey struct{}
+
+// WithPrep returns a context carrying p. A Solve whose context carries a
+// Prep for the same graph skips its own NodeScore ranking pass — the
+// mechanism the service layer uses to share one ranking across requests.
+func WithPrep(ctx context.Context, p *Prep) context.Context {
+	return context.WithValue(ctx, prepCtxKey{}, p)
+}
+
+// prepFor returns the context's Prep when it matches g, else computes one.
+func prepFor(ctx context.Context, g *graph.Graph) *Prep {
+	if p, ok := ctx.Value(prepCtxKey{}).(*Prep); ok && p != nil && p.g == g {
+		return p
+	}
+	return NewPrep(g)
 }
 
 // PickStarts returns the s best start candidates: nodes ranked by NodeScore
 // descending (ties broken by ascending id), per CBAS phase 1 (§3.1).
 func PickStarts(g *graph.Graph, s int) []graph.NodeID {
-	return topStarts(g, nodeScores(g), s)
+	return append([]graph.NodeID(nil), NewPrep(g).Starts(s)...)
 }
 
-// nodeScores computes NodeScore for every node in one O(n+m) pass.
-func nodeScores(g *graph.Graph) []float64 {
-	score := make([]float64, g.N())
-	for i := range score {
-		score[i] = g.NodeScore(graph.NodeID(i))
-	}
-	return score
-}
-
-func topStarts(g *graph.Graph, score []float64, s int) []graph.NodeID {
-	n := g.N()
-	if s > n {
-		s = n
-	}
-	ids := make([]graph.NodeID, n)
-	for i := range ids {
-		ids[i] = graph.NodeID(i)
-	}
-	sort.Slice(ids, func(a, b int) bool {
-		if score[ids[a]] != score[ids[b]] {
-			return score[ids[a]] > score[ids[b]]
-		}
-		return ids[a] < ids[b]
-	})
-	return ids[:s]
-}
-
-// topScoreSums returns prefix sums of the descending NodeScore ranking:
-// topSum[r] = the largest possible total score of r distinct nodes. The
-// pruning bound charges each remaining addition its own node's score, so
-// no completion can gain more than topSum[k−|S|].
-func topScoreSums(score []float64, k int) []float64 {
-	sorted := append([]float64(nil), score...)
-	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
-	top := k
-	if top > len(sorted) {
-		top = len(sorted)
-	}
-	topSum := make([]float64, top+1)
-	for r := 1; r <= top; r++ {
-		topSum[r] = topSum[r-1] + sorted[r-1]
-	}
-	return topSum
-}
+// ---------------------------------------------------------------------------
+// Multi-start driver
 
 // startOutcome is what exploring one start node produced.
 type startOutcome struct {
@@ -203,30 +218,42 @@ type startOutcome struct {
 
 // startRunner explores a single start node. Implementations must derive all
 // randomness from root.SplitN(startIdx, sampleIdx) so outcomes are
-// independent of worker scheduling.
-type startRunner func(ws *workspace, start graph.NodeID, startIdx int, root *rng.Stream, opts Options) startOutcome
+// independent of worker scheduling, and must return early (with a partial
+// outcome) once ctx is done.
+type startRunner func(ctx context.Context, ws *workspace, start graph.NodeID, startIdx int, root *rng.Stream, req core.Request) startOutcome
 
 // multiStart is the shared parallel driver: it fans the start nodes over a
 // worker pool (one reusable workspace per worker) and reduces per-start
-// outcomes in start order, making the result schedule-independent.
-func multiStart(name string, g *graph.Graph, k int, opts Options, run startRunner) (Result, error) {
+// outcomes in start order, making the result schedule-independent. When ctx
+// is cancelled or its deadline passes, workers stop between starts and
+// between samples, every goroutine exits, and the call returns ctx.Err().
+func multiStart(ctx context.Context, name string, g *graph.Graph, req core.Request, run startRunner) (core.Report, error) {
 	began := time.Now()
 	if g == nil || g.N() == 0 {
-		return Result{}, fmt.Errorf("solver: %s on empty graph", name)
+		return core.Report{}, fmt.Errorf("solver: %s on empty graph", name)
 	}
-	if k < 1 {
-		return Result{}, fmt.Errorf("solver: %s requires k ≥ 1, got %d", name, k)
+	if err := req.Validate(); err != nil {
+		return core.Report{}, fmt.Errorf("solver: %s: %w", name, err)
 	}
-	opts = opts.withDefaults()
-	// One NodeScore pass feeds both start selection and the pruning bound;
-	// workers share the read-only topSum slice.
-	scores := nodeScores(g)
-	starts := topStarts(g, scores, opts.Starts)
-	topSum := topScoreSums(scores, k)
+	if err := ctx.Err(); err != nil {
+		return core.Report{}, err
+	}
+	// One NodeScore ranking feeds both start selection and the pruning
+	// bound; workers share the read-only topSum slice. A context-attached
+	// Prep (WithPrep) makes this pass free.
+	prep := prepFor(ctx, g)
+	starts := prep.Starts(req.Starts)
+	topSum := prep.topSums(req.K)
 	outcomes := make([]startOutcome, len(starts))
-	root := rng.New(opts.Seed)
+	root := rng.New(req.Seed)
 
-	workers := opts.Workers
+	// Workers is scheduling-only (results are schedule-independent), so a
+	// wire-supplied value is clamped to GOMAXPROCS: more goroutines than
+	// cores buys nothing and each worker carries an O(n) workspace.
+	workers := req.Workers
+	if maxProcs := runtime.GOMAXPROCS(0); workers <= 0 || workers > maxProcs {
+		workers = maxProcs
+	}
 	if workers > len(starts) {
 		workers = len(starts)
 	}
@@ -236,9 +263,12 @@ func multiStart(name string, g *graph.Graph, k int, opts Options, run startRunne
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ws := newWorkspace(g, k, opts, topSum)
+			ws := newWorkspace(g, req, topSum)
 			for idx := range idxCh {
-				outcomes[idx] = run(ws, starts[idx], idx, root, opts)
+				if ctx.Err() != nil {
+					continue // drain without working so the feeder never blocks
+				}
+				outcomes[idx] = run(ctx, ws, starts[idx], idx, root, req)
 			}
 		}()
 	}
@@ -247,17 +277,25 @@ func multiStart(name string, g *graph.Graph, k int, opts Options, run startRunne
 	}
 	close(idxCh)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return core.Report{}, err
+	}
 
-	res := Result{Algo: name, Starts: len(starts)}
+	rep := core.Report{Algo: name, Starts: len(starts)}
 	best := core.Solution{Willingness: math.Inf(-1)}
 	for _, oc := range outcomes {
-		res.SamplesDrawn += oc.samples
-		res.Pruned += oc.pruned
+		rep.SamplesDrawn += oc.samples
+		rep.Pruned += oc.pruned
 		if oc.sol.Better(best) {
 			best = oc.sol
 		}
 	}
-	res.Best = best
-	res.Elapsed = time.Since(began)
-	return res, nil
+	if best.Size() == 0 {
+		// Only reachable for purely sampling-based solvers given a zero
+		// sample budget — an explicit error, not a silent default.
+		return core.Report{}, fmt.Errorf("solver: %s produced no group (zero sample budget?)", name)
+	}
+	rep.Best = best
+	rep.Elapsed = time.Since(began)
+	return rep, nil
 }

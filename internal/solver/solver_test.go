@@ -1,9 +1,14 @@
 package solver
 
 import (
+	"context"
+	"errors"
 	"math"
+	"runtime"
 	"testing"
+	"time"
 
+	"waso/internal/core"
 	"waso/internal/gen"
 	"waso/internal/graph"
 	"waso/internal/stats"
@@ -18,31 +23,41 @@ func powerlawInstance(t testing.TB, n int, seed uint64) *graph.Graph {
 	return g
 }
 
-func checkSolution(t *testing.T, g *graph.Graph, k int, res Result) {
+// req builds a default request for k with the given overrides applied.
+func req(k int, mut func(*core.Request)) core.Request {
+	r := core.DefaultRequest(k)
+	if mut != nil {
+		mut(&r)
+	}
+	return r
+}
+
+func checkSolution(t *testing.T, g *graph.Graph, k int, rep core.Report) {
 	t.Helper()
-	sol := res.Best
+	sol := rep.Best
 	if sol.Size() == 0 || sol.Size() > k {
-		t.Fatalf("%s: solution size %d outside (0,%d]", res.Algo, sol.Size(), k)
+		t.Fatalf("%s: solution size %d outside (0,%d]", rep.Algo, sol.Size(), k)
 	}
 	if !g.Connected(sol.Nodes) {
-		t.Fatalf("%s: solution %v not connected", res.Algo, sol.Nodes)
+		t.Fatalf("%s: solution %v not connected", rep.Algo, sol.Nodes)
 	}
 	if w := g.Willingness(sol.Nodes); math.Abs(w-sol.Willingness) > 1e-6*math.Max(1, w) {
-		t.Fatalf("%s: stored willingness %v != recomputed %v", res.Algo, sol.Willingness, w)
+		t.Fatalf("%s: stored willingness %v != recomputed %v", rep.Algo, sol.Willingness, w)
 	}
 }
 
 // TestSolverInvariants: every solver returns a non-empty connected group of
 // size ≤ k with a correct incremental willingness.
 func TestSolverInvariants(t *testing.T) {
+	ctx := context.Background()
 	g := powerlawInstance(t, 500, 7)
 	for _, s := range All() {
 		for _, k := range []int{1, 2, 10, 25} {
-			res, err := s.Solve(g, k, Options{Samples: 30, Seed: 42})
+			rep, err := s.Solve(ctx, g, req(k, func(r *core.Request) { r.Samples = 30; r.Seed = 42 }))
 			if err != nil {
 				t.Fatalf("%s k=%d: %v", s.Name(), k, err)
 			}
-			checkSolution(t, g, k, res)
+			checkSolution(t, g, k, rep)
 		}
 	}
 }
@@ -50,24 +65,26 @@ func TestSolverInvariants(t *testing.T) {
 // TestWorkerIndependence: a fixed seed yields the identical result (and
 // identical search counters) no matter how many workers run the starts.
 func TestWorkerIndependence(t *testing.T) {
+	ctx := context.Background()
 	g := powerlawInstance(t, 500, 11)
 	for _, s := range All() {
-		var ref Result
+		var ref core.Report
 		for i, workers := range []int{1, 2, 8} {
-			res, err := s.Solve(g, 10, Options{Samples: 40, Seed: 9, Workers: workers})
+			w := workers
+			rep, err := s.Solve(ctx, g, req(10, func(r *core.Request) { r.Samples = 40; r.Seed = 9; r.Workers = w }))
 			if err != nil {
 				t.Fatalf("%s workers=%d: %v", s.Name(), workers, err)
 			}
 			if i == 0 {
-				ref = res
+				ref = rep
 				continue
 			}
-			if !res.Best.Equal(ref.Best) || res.Best.Willingness != ref.Best.Willingness {
-				t.Errorf("%s: workers=%d got %v, workers=1 got %v", s.Name(), workers, res.Best, ref.Best)
+			if !rep.Best.Equal(ref.Best) || rep.Best.Willingness != ref.Best.Willingness {
+				t.Errorf("%s: workers=%d got %v, workers=1 got %v", s.Name(), workers, rep.Best, ref.Best)
 			}
-			if res.SamplesDrawn != ref.SamplesDrawn || res.Pruned != ref.Pruned {
+			if rep.SamplesDrawn != ref.SamplesDrawn || rep.Pruned != ref.Pruned {
 				t.Errorf("%s: workers=%d counters (%d,%d) != workers=1 (%d,%d)",
-					s.Name(), workers, res.SamplesDrawn, res.Pruned, ref.SamplesDrawn, ref.Pruned)
+					s.Name(), workers, rep.SamplesDrawn, rep.Pruned, ref.SamplesDrawn, ref.Pruned)
 			}
 		}
 	}
@@ -75,13 +92,15 @@ func TestWorkerIndependence(t *testing.T) {
 
 // TestSeedSensitivity: randomized solvers actually use the seed.
 func TestSeedSensitivity(t *testing.T) {
+	ctx := context.Background()
 	g := powerlawInstance(t, 300, 3)
-	a, err := RGreedy{}.Solve(g, 8, Options{Samples: 5, Seed: 1, Starts: 2})
+	a, err := RGreedy{}.Solve(ctx, g, req(8, func(r *core.Request) { r.Samples = 5; r.Seed = 1; r.Starts = 2 }))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for seed := uint64(2); seed < 10; seed++ {
-		b, err := RGreedy{}.Solve(g, 8, Options{Samples: 5, Seed: seed, Starts: 2})
+		sd := seed
+		b, err := RGreedy{}.Solve(ctx, g, req(8, func(r *core.Request) { r.Samples = 5; r.Seed = sd; r.Starts = 2 }))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -97,15 +116,16 @@ func TestSeedSensitivity(t *testing.T) {
 // at least DGreedy's. (Per-start greedy warm starts make this hold
 // per-instance, not just in the mean.)
 func TestCBASNDBeatsDGreedy(t *testing.T) {
+	ctx := context.Background()
 	var dg, nd []float64
 	for seed := uint64(0); seed < 20; seed++ {
 		g := powerlawInstance(t, 1000, 100+seed)
-		opts := Options{Samples: 50, Seed: seed}
-		rd, err := DGreedy{}.Solve(g, 10, opts)
+		r := req(10, func(r *core.Request) { r.Samples = 50; r.Seed = seed })
+		rd, err := DGreedy{}.Solve(ctx, g, r)
 		if err != nil {
 			t.Fatal(err)
 		}
-		rn, err := CBASND{}.Solve(g, 10, opts)
+		rn, err := CBASND{}.Solve(ctx, g, r)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -151,13 +171,19 @@ func richCliqueGraph(t *testing.T) *graph.Graph {
 // beat the incumbent, so it must not change the answer — only the
 // counters.
 func TestPruningInvariance(t *testing.T) {
+	ctx := context.Background()
 	g := richCliqueGraph(t)
 	for _, s := range []Solver{CBAS{}, CBASND{}} {
-		on, err := s.Solve(g, 5, Options{Samples: 200, Seed: 4, Starts: 3})
+		on, err := s.Solve(ctx, g, req(5, func(r *core.Request) { r.Samples = 200; r.Seed = 4; r.Starts = 3 }))
 		if err != nil {
 			t.Fatal(err)
 		}
-		off, err := s.Solve(g, 5, Options{Samples: 200, Seed: 4, Starts: 3, DisablePrune: true})
+		off, err := s.Solve(ctx, g, req(5, func(r *core.Request) {
+			r.Samples = 200
+			r.Seed = 4
+			r.Starts = 3
+			r.Prune = false
+		}))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -165,7 +191,7 @@ func TestPruningInvariance(t *testing.T) {
 			t.Errorf("%s: pruning changed the result: %v vs %v", s.Name(), on.Best, off.Best)
 		}
 		if off.Pruned != 0 {
-			t.Errorf("%s: DisablePrune still pruned %d samples", s.Name(), off.Pruned)
+			t.Errorf("%s: Prune=false still pruned %d samples", s.Name(), off.Pruned)
 		}
 		if s.Name() == "cbas" && on.Pruned == 0 {
 			t.Errorf("cbas: expected the bound to prune some uniform samples on the rich-clique instance")
@@ -176,15 +202,16 @@ func TestPruningInvariance(t *testing.T) {
 // TestOptimalOnClique: with k ≥ clique size the optimum is the whole rich
 // clique; every solver should find it.
 func TestOptimalOnClique(t *testing.T) {
+	ctx := context.Background()
 	g := richCliqueGraph(t)
 	want := g.Willingness([]graph.NodeID{0, 1, 2, 3, 4})
 	for _, s := range All() {
-		res, err := s.Solve(g, 5, Options{Samples: 50, Seed: 1})
+		rep, err := s.Solve(ctx, g, req(5, func(r *core.Request) { r.Samples = 50; r.Seed = 1 }))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if math.Abs(res.Best.Willingness-want) > 1e-9 {
-			t.Errorf("%s: found %v, want the K5 with W=%v", s.Name(), res.Best, want)
+		if math.Abs(rep.Best.Willingness-want) > 1e-9 {
+			t.Errorf("%s: found %v, want the K5 with W=%v", s.Name(), rep.Best, want)
 		}
 	}
 }
@@ -192,6 +219,7 @@ func TestOptimalOnClique(t *testing.T) {
 // TestSmallComponent: when k exceeds the start's component, the group is
 // the whole component rather than an error.
 func TestSmallComponent(t *testing.T) {
+	ctx := context.Background()
 	b := graph.NewBuilder(4)
 	for i := 0; i < 4; i++ {
 		b.SetInterest(graph.NodeID(i), float64(i+1))
@@ -202,47 +230,80 @@ func TestSmallComponent(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, s := range All() {
-		res, err := s.Solve(g, 10, Options{Samples: 10, Seed: 2})
+		rep, err := s.Solve(ctx, g, req(10, func(r *core.Request) { r.Samples = 10; r.Seed = 2 }))
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
 		want := []graph.NodeID{2, 3}
-		if res.Best.Size() != 2 || res.Best.Nodes[0] != want[0] || res.Best.Nodes[1] != want[1] {
-			t.Errorf("%s: got %v, want component {2,3}", s.Name(), res.Best)
+		if rep.Best.Size() != 2 || rep.Best.Nodes[0] != want[0] || rep.Best.Nodes[1] != want[1] {
+			t.Errorf("%s: got %v, want component {2,3}", s.Name(), rep.Best)
 		}
 	}
 }
 
 // TestSamplerBackendsAgree: forcing the Fenwick backend must reproduce the
-// linear backend draw-for-draw (same streams, same proportional law).
-// Exact equality is not required — the two backends consume uniforms
-// differently — but both must satisfy all invariants and stay within the
-// greedy-seeded guarantee.
+// linear backend's guarantees (the two backends consume uniforms
+// differently, so exact equality is not required), and both must stay
+// within the greedy-seeded bound.
 func TestSamplerBackendsAgree(t *testing.T) {
+	ctx := context.Background()
 	g := powerlawInstance(t, 400, 21)
-	greedy, err := DGreedy{}.Solve(g, 12, Options{})
+	greedy, err := DGreedy{}.Solve(ctx, g, req(12, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, kind := range []SamplerKind{SamplerLinear, SamplerFenwick} {
-		res, err := CBASND{}.Solve(g, 12, Options{Samples: 40, Seed: 5, Sampler: kind})
+	for _, kind := range []core.Sampler{core.SamplerLinear, core.SamplerFenwick} {
+		sk := kind
+		rep, err := CBASND{}.Solve(ctx, g, req(12, func(r *core.Request) { r.Samples = 40; r.Seed = 5; r.Sampler = sk }))
 		if err != nil {
 			t.Fatal(err)
 		}
-		checkSolution(t, g, 12, res)
-		if res.Best.Willingness < greedy.Best.Willingness {
-			t.Errorf("sampler %d: cbasnd %.4f below dgreedy %.4f", kind, res.Best.Willingness, greedy.Best.Willingness)
+		checkSolution(t, g, 12, rep)
+		if rep.Best.Willingness < greedy.Best.Willingness {
+			t.Errorf("sampler %s: cbasnd %.4f below dgreedy %.4f", kind, rep.Best.Willingness, greedy.Best.Willingness)
 		}
 	}
 }
 
+// TestZeroSamples: a zero sample budget is a real value now — greedy-seeded
+// solvers return the deterministic completion, and the purely sampling
+// rgreedy reports an explicit error rather than silently defaulting.
+func TestZeroSamples(t *testing.T) {
+	ctx := context.Background()
+	g := powerlawInstance(t, 300, 5)
+	zero := req(10, func(r *core.Request) { r.Samples = 0 })
+	want, err := DGreedy{}.Solve(ctx, g, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Solver{CBAS{}, CBASND{}} {
+		rep, err := s.Solve(ctx, g, zero)
+		if err != nil {
+			t.Fatalf("%s with zero samples: %v", s.Name(), err)
+		}
+		if rep.SamplesDrawn != 0 {
+			t.Errorf("%s: drew %d samples on a zero budget", s.Name(), rep.SamplesDrawn)
+		}
+		if !rep.Best.Equal(want.Best) {
+			t.Errorf("%s with zero samples: %v, want the greedy completion %v", s.Name(), rep.Best, want.Best)
+		}
+	}
+	if _, err := (RGreedy{}).Solve(ctx, g, zero); err == nil {
+		t.Error("rgreedy with zero samples should error, not return an empty group")
+	}
+}
+
 func TestErrorsAndRegistry(t *testing.T) {
+	ctx := context.Background()
 	g := powerlawInstance(t, 50, 1)
-	if _, err := (CBAS{}).Solve(g, 0, Options{}); err == nil {
+	if _, err := (CBAS{}).Solve(ctx, g, req(0, nil)); err == nil {
 		t.Error("k=0 accepted")
 	}
-	if _, err := (CBAS{}).Solve(nil, 5, Options{}); err == nil {
+	if _, err := (CBAS{}).Solve(ctx, nil, req(5, nil)); err == nil {
 		t.Error("nil graph accepted")
+	}
+	if _, err := (CBAS{}).Solve(ctx, g, req(5, func(r *core.Request) { r.Sampler = "bogus" })); err == nil {
+		t.Error("unknown sampler accepted")
 	}
 	for _, name := range Names() {
 		s, err := New(name)
@@ -252,6 +313,97 @@ func TestErrorsAndRegistry(t *testing.T) {
 	}
 	if _, err := New("simulated-annealing"); err == nil {
 		t.Error("unknown solver name accepted")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate Register did not panic")
+			}
+		}()
+		Register("dgreedy", func() Solver { return DGreedy{} })
+	}()
+}
+
+// TestCancelledContext: a Solve with an already-cancelled context returns
+// ctx.Err() promptly and leaks no goroutines.
+func TestCancelledContext(t *testing.T) {
+	g := powerlawInstance(t, 500, 13)
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, s := range All() {
+		began := time.Now()
+		rep, err := s.Solve(ctx, g, req(10, func(r *core.Request) { r.Samples = 1 << 20 }))
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", s.Name(), err)
+		}
+		if rep.Best.Size() != 0 {
+			t.Errorf("%s: cancelled solve still returned a group %v", s.Name(), rep.Best)
+		}
+		if d := time.Since(began); d > time.Second {
+			t.Errorf("%s: cancelled solve took %v, want prompt return", s.Name(), d)
+		}
+	}
+	// Goroutine bracketing: allow the runtime a moment to settle.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// TestDeadlineExceeded: a short deadline on a large instance interrupts the
+// sample loop and surfaces context.DeadlineExceeded instead of running the
+// full budget.
+func TestDeadlineExceeded(t *testing.T) {
+	g := powerlawInstance(t, 2000, 17)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	began := time.Now()
+	_, err := (CBASND{}).Solve(ctx, g, req(20, func(r *core.Request) { r.Samples = 1 << 20; r.Prune = false }))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if d := time.Since(began); d > 5*time.Second {
+		t.Errorf("deadline solve took %v, want prompt abort", d)
+	}
+}
+
+// TestWithPrep: attaching a precomputed ranking must not change any result
+// — it only removes the per-call ranking pass.
+func TestWithPrep(t *testing.T) {
+	g := powerlawInstance(t, 500, 19)
+	prep := NewPrep(g)
+	ctx := WithPrep(context.Background(), prep)
+	for _, s := range All() {
+		r := req(10, func(r *core.Request) { r.Samples = 20; r.Seed = 3 })
+		plain, err := s.Solve(context.Background(), g, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prepped, err := s.Solve(ctx, g, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !plain.Best.Equal(prepped.Best) || plain.SamplesDrawn != prepped.SamplesDrawn || plain.Pruned != prepped.Pruned {
+			t.Errorf("%s: WithPrep changed the outcome: %v vs %v", s.Name(), prepped.Best, plain.Best)
+		}
+	}
+	// A Prep for a different graph must be ignored, not misapplied.
+	other := powerlawInstance(t, 200, 23)
+	rep, err := (DGreedy{}).Solve(ctx, other, req(5, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := (DGreedy{}).Solve(context.Background(), other, req(5, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Best.Equal(want.Best) {
+		t.Errorf("stale Prep affected a different graph: %v vs %v", rep.Best, want.Best)
 	}
 }
 

@@ -41,20 +41,20 @@ type workspace struct {
 }
 
 // newWorkspace sizes the scratch state for g. topSum is the shared
-// read-only pruning-bound table from topScoreSums.
-func newWorkspace(g *graph.Graph, k int, opts Options, topSum []float64) *workspace {
+// read-only pruning-bound table from Prep.topSums.
+func newWorkspace(g *graph.Graph, req core.Request, topSum []float64) *workspace {
 	n := g.N()
-	useFen := opts.Sampler == SamplerFenwick ||
-		(opts.Sampler == SamplerAuto && float64(k)*g.AvgDegree() > FenwickCrossover)
+	useFen := req.Sampler == core.SamplerFenwick ||
+		(req.Sampler == core.SamplerAuto && float64(req.K)*g.AvgDegree() > FenwickCrossover)
 	ws := &workspace{
 		g:       g,
-		k:       k,
+		k:       req.K,
 		topSum:  topSum,
 		inSet:   bitset.New(n),
 		inFront: bitset.New(n),
 		slotOf:  make([]int32, n),
 		useFen:  useFen,
-		alpha:   opts.Alpha,
+		alpha:   req.Alpha,
 	}
 	if useFen {
 		ws.fen = sampling.NewFenwick(n)
