@@ -70,12 +70,17 @@ func checkGolden(t *testing.T, name, got string) {
 	}
 }
 
+// Golden runs pin -workers 1: solution cells are worker-independent by
+// design, but the pruned counter is advisory — it depends on how fast the
+// shared incumbent rises under a given schedule, and only a single
+// sequential worker makes it reproducible across machines.
+
 // TestGoldenTable locks the aligned-table rendering of a small
 // deterministic experiment, including per-seed verbose lines.
 func TestGoldenTable(t *testing.T) {
 	got := runGolden(t,
 		"-gen", "powerlaw", "-n", "200", "-k", "8", "-seeds", "2",
-		"-samples", "40", "-starts", "4", "-seed", "7", "-v")
+		"-samples", "40", "-starts", "4", "-seed", "7", "-workers", "1", "-v")
 	checkGolden(t, "table.golden", got)
 }
 
@@ -84,7 +89,7 @@ func TestGoldenTable(t *testing.T) {
 func TestGoldenCSV(t *testing.T) {
 	got := runGolden(t,
 		"-gen", "er", "-n", "300", "-avgdeg", "6", "-k", "6", "-seeds", "2",
-		"-samples", "25", "-starts", "3", "-seed", "11",
+		"-samples", "25", "-starts", "3", "-seed", "11", "-workers", "1",
 		"-algo", "dgreedy,cbas,cbasnd", "-csv")
 	checkGolden(t, "csv.golden", got)
 }

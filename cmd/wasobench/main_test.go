@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestHarnessReport: a small sweep produces a well-formed
+// BENCH_solvers.json-style document with one row per (algo, workers)
+// configuration plus the unprepped rows, positive timings, and the
+// deterministic solution fields filled in.
+func TestHarnessReport(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-n", "2000", "-samples", "5", "-reps", "1",
+		"-workers", "1,2", "-algos", "cbas,cbasnd",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var rep report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	// 2 algos × (2 worker counts + 1 unprepped row).
+	if want := 6; len(rep.Benchmarks) != want {
+		t.Fatalf("got %d benchmark rows, want %d", len(rep.Benchmarks), want)
+	}
+	for _, b := range rep.Benchmarks {
+		if b.NsPerOp <= 0 {
+			t.Errorf("%s: ns_per_op = %v", b.Name, b.NsPerOp)
+		}
+		if b.Willing <= 0 {
+			t.Errorf("%s: willingness = %v", b.Name, b.Willing)
+		}
+		if b.SamplesN <= 0 {
+			t.Errorf("%s: samples_drawn = %d", b.Name, b.SamplesN)
+		}
+	}
+	// Worker count must not change the answer — the harness measures the
+	// same deterministic solve at every sweep point.
+	byName := map[string]entry{}
+	for _, b := range rep.Benchmarks {
+		byName[b.Name] = b
+	}
+	w1 := byName["BenchmarkLargeGraph/n=2000/cbasnd/workers=1"]
+	w2 := byName["BenchmarkLargeGraph/n=2000/cbasnd/workers=2"]
+	if w1.Willing != w2.Willing {
+		t.Errorf("cbasnd willingness differs across workers: %v vs %v", w1.Willing, w2.Willing)
+	}
+	if rep.Date == "" || rep.Goos == "" || rep.Command == "" {
+		t.Errorf("missing report metadata: %+v", rep)
+	}
+}
+
+func TestHarnessBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-n", "0"},
+		{"-n", "abc"},
+		{"-workers", "-2"},
+		{"-reps", "0"},
+		{"-algos", "oracle"},
+	} {
+		// Small default -n keeps the cases that fail later than flag
+		// parsing cheap; the case's own flags come last so they win.
+		if err := run(append([]string{"-samples", "1", "-n", "50"}, args...), &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}

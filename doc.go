@@ -11,14 +11,20 @@
 //	          versioned binary codec and JSON edge-list ingestion.
 //	solver  — the four paper algorithms behind a registry
 //	          (Register/New/Names) with the context-aware entry point
-//	          Solve(ctx, g, req); cancellation is observed between starts
-//	          and samples, and WithPrep shares a precomputed NodeScore
-//	          ranking across calls.
+//	          Solve(ctx, g, req). The driver decomposes the sample budget
+//	          into (start, sample-chunk) tasks over a worker pool with a
+//	          shared lock-free incumbent for cross-start pruning:
+//	          Report.Best is independent of the worker count, while the
+//	          Pruned counter is advisory (schedule-dependent). WithPrep
+//	          shares a precomputed NodeScore ranking across calls and
+//	          WithWorkspacePool recycles per-worker scratch buffers.
 //	service — the serving layer: concurrency-safe in-memory graph store
-//	          (load/generate/evict) holding one solver.Prep per graph, and
-//	          the Solve orchestrator with per-request deadlines.
-//	cmd     — the two front ends over the same Request path: cmd/waso
-//	          (batch experiment harness) and cmd/wasod (JSON HTTP server).
+//	          (load/generate/evict) holding one solver.Prep and one
+//	          workspace pool per graph, and the Solve orchestrator with
+//	          per-request deadlines.
+//	cmd     — the front ends over the same Request path: cmd/waso (batch
+//	          experiment harness), cmd/wasod (JSON HTTP server), and
+//	          cmd/wasobench (large-graph scaling benchmark harness).
 //
 // gen (synthetic instances, §5) feeds graphs into cmd and service;
 // sampling/rng/bitset/stats are the shared substrate.

@@ -103,12 +103,21 @@ func (r Request) Validate() error {
 // Report is the result of one solving call: the best group found plus the
 // search counters and timing the paper's figures (and the serving metrics)
 // are built from.
+//
+// Best is deterministic: it depends only on (graph, Request minus
+// Workers), never on the worker count or goroutine schedule. The search
+// counters are advisory. Under the solvers' shared-incumbent pruning,
+// which samples get abandoned depends on how fast the cross-start
+// incumbent rises on a given schedule, so Pruned may differ between runs
+// with different worker counts (and SamplesDrawn is partial after a
+// cancelled solve). Treat them as workload telemetry, not part of the
+// result identity — caching and response comparison should key on Best.
 type Report struct {
 	Algo         string        `json:"algo"`
 	Best         Solution      `json:"best"`
 	Starts       int           `json:"starts"`        // start nodes actually explored
-	SamplesDrawn int64         `json:"samples_drawn"` // random samples attempted (0 for dgreedy)
-	Pruned       int64         `json:"pruned"`        // samples abandoned by the upper bound
+	SamplesDrawn int64         `json:"samples_drawn"` // advisory: random samples attempted (0 for dgreedy)
+	Pruned       int64         `json:"pruned"`        // advisory: samples abandoned by the upper bound
 	Elapsed      time.Duration `json:"elapsed_ns"`    // wall-clock solve time
 }
 

@@ -89,6 +89,34 @@ func (f *Fenwick) Set(i int, w float64) {
 	}
 }
 
+// Reset zeroes the weights of slots [0, n) in O(n + log Len) total — the
+// bulk form of calling Set(i, 0) for every live slot, which would cost
+// O(n log Len). It requires that every slot ≥ n already has zero weight
+// (the append-only discipline of the solver workspaces: slots are assigned
+// densely from 0, so after a growth only the first n slots can be live).
+// Under that precondition every tree node sums only cleared weights, so the
+// nodes to zero are exactly [1, n] plus the tail of the update path of slot
+// n−1.
+func (f *Fenwick) Reset(n int) {
+	if n > len(f.w) {
+		n = len(f.w)
+	}
+	if n <= 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		f.w[i] = 0
+	}
+	for j := 1; j <= n; j++ {
+		f.tree[j] = 0
+	}
+	// Tree nodes above n whose range reaches below n: the continuation of
+	// the BIT update path of index n−1 (j = n, then j += lowbit(j)).
+	for j := n + n&(-n); j <= len(f.w); j += j & (-j) {
+		f.tree[j] = 0
+	}
+}
+
 // Total returns the sum of all weights.
 func (f *Fenwick) Total() float64 {
 	total := 0.0

@@ -212,6 +212,73 @@ func TestQuickFenwickSupport(t *testing.T) {
 	}
 }
 
+// TestFenwickReset: after setting only the first n slots, Reset(n) must
+// leave the tree bit-identical to a freshly built one — exact zeros
+// everywhere, across sizes including n past the capacity and n = 0.
+// (A Set(i, 0) loop is weaker: its delta updates leave FP residue in the
+// shared tree nodes; Reset clears them exactly.)
+func TestFenwickReset(t *testing.T) {
+	r := rng.New(31)
+	for _, cap := range []int{1, 2, 3, 7, 8, 9, 64, 100, 257} {
+		for _, n := range []int{0, 1, cap / 2, cap - 1, cap, cap + 5} {
+			if n < 0 {
+				continue
+			}
+			f := NewFenwick(cap)
+			live := n
+			if live > cap {
+				live = cap
+			}
+			for i := 0; i < live; i++ {
+				f.Set(i, r.Float64()*10)
+			}
+			f.Reset(n)
+			if f.Total() != 0 {
+				t.Fatalf("cap=%d n=%d: Total=%v after Reset", cap, n, f.Total())
+			}
+			for j := range f.tree {
+				if f.tree[j] != 0 {
+					t.Fatalf("cap=%d n=%d: tree[%d] = %v after Reset", cap, n, j, f.tree[j])
+				}
+			}
+			for i := range f.w {
+				if f.w[i] != 0 {
+					t.Fatalf("cap=%d n=%d: w[%d] = %v after Reset", cap, n, i, f.w[i])
+				}
+			}
+		}
+	}
+}
+
+// TestQuickFenwickResetReuse: interleaved rounds of dense fills and bulk
+// resets keep sampling correct — every post-reset round behaves exactly
+// like a fresh tree with the same weights.
+func TestQuickFenwickResetReuse(t *testing.T) {
+	r := rng.New(67)
+	f := NewFenwick(133)
+	for round := 0; round < 50; round++ {
+		n := 1 + r.IntN(f.Len())
+		fresh := NewFenwick(f.Len())
+		for i := 0; i < n; i++ {
+			w := r.Float64() * 5
+			f.Set(i, w)
+			fresh.Set(i, w)
+		}
+		if f.Total() != fresh.Total() {
+			t.Fatalf("round %d: reused Total %v != fresh %v", round, f.Total(), fresh.Total())
+		}
+		a, b := *rng.New(uint64(round)), *rng.New(uint64(round))
+		for d := 0; d < 20; d++ {
+			got, gotErr := f.Sample(&a)
+			want, wantErr := fresh.Sample(&b)
+			if got != want || (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("round %d draw %d: reused sampled %v (%v), fresh %v (%v)", round, d, got, gotErr, want, wantErr)
+			}
+		}
+		f.Reset(n)
+	}
+}
+
 func TestReservoirUniform(t *testing.T) {
 	r := rng.New(8)
 	const n, k, trials = 20, 5, 20000

@@ -64,10 +64,13 @@ type GraphInfo struct {
 	CreatedAt time.Time `json:"created_at"`
 }
 
-// entry pairs a graph with its shared precomputation.
+// entry pairs a graph with its shared precomputation and its workspace
+// pool — the recycled per-worker scratch buffers that keep a busy serving
+// path from allocating O(n) state on every request.
 type entry struct {
 	g    *graph.Graph
 	prep *solver.Prep
+	pool *solver.WorkspacePool
 	info GraphInfo
 }
 
@@ -112,6 +115,7 @@ func (s *Service) Load(id string, g *graph.Graph, source string) (GraphInfo, err
 	e := &entry{
 		g:    g,
 		prep: solver.NewPrep(g),
+		pool: solver.NewWorkspacePool(g),
 		info: GraphInfo{
 			ID:        id,
 			Nodes:     g.N(),
@@ -229,9 +233,10 @@ func (s *Service) Evict(id string) error {
 }
 
 // Solve runs the named algorithm against the stored graph, sharing the
-// graph's precomputed ranking and applying the configured default timeout
-// when ctx carries no deadline. Cancellation and deadline errors pass
-// through as ctx.Err() values (context.Canceled, context.DeadlineExceeded).
+// graph's precomputed ranking and recycled workspace pool, and applying the
+// configured default timeout when ctx carries no deadline. Cancellation and
+// deadline errors pass through as ctx.Err() values (context.Canceled,
+// context.DeadlineExceeded).
 func (s *Service) Solve(ctx context.Context, graphID, algo string, req core.Request) (core.Report, error) {
 	s.mu.RLock()
 	e := s.graphs[graphID]
@@ -253,5 +258,7 @@ func (s *Service) Solve(ctx context.Context, graphID, algo string, req core.Requ
 			defer cancel()
 		}
 	}
-	return sv.Solve(solver.WithPrep(ctx, e.prep), e.g, req)
+	ctx = solver.WithPrep(ctx, e.prep)
+	ctx = solver.WithWorkspacePool(ctx, e.pool)
+	return sv.Solve(ctx, e.g, req)
 }

@@ -114,8 +114,11 @@ func TestMaxNodes(t *testing.T) {
 	}
 }
 
-// TestSolveMatchesDirect: the service path (shared Prep, timeout wrapper)
-// returns bit-identical results to calling the solver directly.
+// TestSolveMatchesDirect: the service path (shared Prep, recycled workspace
+// pool, timeout wrapper) returns bit-identical solutions to calling the
+// solver directly. Pruned is advisory (schedule-dependent under the shared
+// incumbent) and deliberately not compared. Repeated service solves
+// exercise workspace reuse: the second pass must reproduce the first.
 func TestSolveMatchesDirect(t *testing.T) {
 	ctx := context.Background()
 	s := New(Config{})
@@ -143,8 +146,59 @@ func TestSolveMatchesDirect(t *testing.T) {
 			t.Fatal(err)
 		}
 		if !got.Best.Equal(want.Best) || got.Best.Willingness != want.Best.Willingness ||
-			got.SamplesDrawn != want.SamplesDrawn || got.Pruned != want.Pruned {
+			got.SamplesDrawn != want.SamplesDrawn {
 			t.Errorf("%s: service %v != direct %v", algo, got.Best, want.Best)
+		}
+		again, err := s.Solve(ctx, "g", algo, req)
+		if err != nil {
+			t.Fatalf("%s pooled rerun: %v", algo, err)
+		}
+		if !again.Best.Equal(want.Best) || again.Best.Willingness != want.Best.Willingness {
+			t.Errorf("%s: pooled rerun %v != direct %v", algo, again.Best, want.Best)
+		}
+	}
+}
+
+// TestPooledWorkspacesAcrossRequests: interleaving requests with different
+// tuning (k, sampler backend, alpha) against one graph must not let a
+// recycled workspace leak state between them — every request reproduces
+// its direct-solver result.
+func TestPooledWorkspacesAcrossRequests(t *testing.T) {
+	ctx := context.Background()
+	s := New(Config{})
+	if _, err := s.Generate("g", testSpec(400)); err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := s.Get("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]core.Request, 0, 6)
+	for _, k := range []int{4, 12} {
+		r := core.DefaultRequest(k)
+		r.Samples = 20
+		r.Seed = uint64(k)
+		reqs = append(reqs, r)
+		r.Sampler = core.SamplerFenwick
+		r.Alpha = 1
+		reqs = append(reqs, r)
+		r.Sampler = core.SamplerLinear
+		r.Alpha = 3
+		reqs = append(reqs, r)
+	}
+	for round := 0; round < 3; round++ {
+		for i, r := range reqs {
+			got, err := s.Solve(ctx, "g", "cbasnd", r)
+			if err != nil {
+				t.Fatalf("round %d req %d: %v", round, i, err)
+			}
+			want, err := (solver.CBASND{}).Solve(ctx, g, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Best.Equal(want.Best) || got.Best.Willingness != want.Best.Willingness {
+				t.Errorf("round %d req %d: pooled %v != direct %v", round, i, got.Best, want.Best)
+			}
 		}
 	}
 }

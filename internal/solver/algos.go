@@ -29,10 +29,10 @@ func (DGreedy) Name() string { return "dgreedy" }
 
 // Solve implements Solver.
 func (DGreedy) Solve(ctx context.Context, g *graph.Graph, req core.Request) (core.Report, error) {
-	return multiStart(ctx, "dgreedy", g, req,
-		func(_ context.Context, ws *workspace, start graph.NodeID, _ int, _ *rng.Stream, _ core.Request) startOutcome {
+	return multiStart(ctx, "dgreedy", g, req, 0, true,
+		func(_ context.Context, ws *workspace, _ task, start graph.NodeID, _ *rng.Stream, _ core.Request) outcome {
 			ws.growGreedy(start)
-			return startOutcome{sol: ws.snapshot()}
+			return outcome{sol: ws.snapshot()}
 		})
 }
 
@@ -46,14 +46,14 @@ func (RGreedy) Name() string { return "rgreedy" }
 
 // Solve implements Solver.
 func (RGreedy) Solve(ctx context.Context, g *graph.Graph, req core.Request) (core.Report, error) {
-	return multiStart(ctx, "rgreedy", g, req,
-		func(ctx context.Context, ws *workspace, start graph.NodeID, startIdx int, root *rng.Stream, r core.Request) startOutcome {
-			oc := startOutcome{sol: core.Solution{Willingness: math.Inf(-1)}}
-			for s := 0; s < r.Samples; s++ {
+	return multiStart(ctx, "rgreedy", g, req, req.Samples, false,
+		func(ctx context.Context, ws *workspace, t task, start graph.NodeID, root *rng.Stream, _ core.Request) outcome {
+			oc := outcome{sol: core.Solution{Willingness: math.Inf(-1)}}
+			for s := t.lo; s < t.hi; s++ {
 				if ctx.Err() != nil {
 					return oc
 				}
-				stream := root.SplitN(uint64(startIdx), uint64(s))
+				stream := root.SplitN(uint64(t.startIdx), uint64(s))
 				oc.samples++
 				ws.growWeighted(start, stream, weightGroup, 0, false)
 				if ws.will > oc.sol.Willingness {
@@ -67,9 +67,9 @@ func (RGreedy) Solve(ctx context.Context, g *graph.Graph, req core.Request) (cor
 // CBAS is the paper's uniform community-based adaptive sampling (§3.1):
 // start nodes come from the NodeScore ranking (phase 1); each sample grows
 // a connected group by drawing frontier nodes uniformly at random (phase
-// 2), abandoning samples whose upper bound W(S) + (k−|S|)·maxNS cannot
-// beat the incumbent. The incumbent is seeded with the deterministic
-// greedy completion from the start node.
+// 2), abandoning samples whose upper bound cannot beat the incumbent. The
+// shared incumbent is seeded with the deterministic greedy completions of
+// the start nodes and rises as any worker completes a better growth.
 type CBAS struct{}
 
 // Name implements Solver.
@@ -77,7 +77,7 @@ func (CBAS) Name() string { return "cbas" }
 
 // Solve implements Solver.
 func (CBAS) Solve(ctx context.Context, g *graph.Graph, req core.Request) (core.Report, error) {
-	return multiStart(ctx, "cbas", g, req, cbasStart(false))
+	return multiStart(ctx, "cbas", g, req, req.Samples, true, cbasChunk(false))
 }
 
 // CBASND is CBAS with non-uniform adapted probabilities (§3.2): frontier
@@ -91,20 +91,29 @@ func (CBASND) Name() string { return "cbasnd" }
 
 // Solve implements Solver.
 func (CBASND) Solve(ctx context.Context, g *graph.Graph, req core.Request) (core.Report, error) {
-	return multiStart(ctx, "cbasnd", g, req, cbasStart(true))
+	return multiStart(ctx, "cbasnd", g, req, req.Samples, true, cbasChunk(true))
 }
 
-// cbasStart builds the per-start search shared by CBAS (uniform draws) and
-// CBASND (adapted-probability draws).
-func cbasStart(nonuniform bool) startRunner {
-	return func(ctx context.Context, ws *workspace, start graph.NodeID, startIdx int, root *rng.Stream, r core.Request) startOutcome {
-		ws.growGreedy(start)
-		oc := startOutcome{sol: ws.snapshot()}
-		for s := 0; s < r.Samples; s++ {
+// cbasChunk builds the per-task search shared by CBAS (uniform draws) and
+// CBASND (adapted-probability draws). The first chunk of each start opens
+// with the deterministic greedy completion, which both guarantees the final
+// answer never scores below DGreedy and raises the shared incumbent before
+// any sampling. Completed samples raise the incumbent too, so every
+// worker's pruning bound tightens with the globally best growth seen so
+// far, not just this task's.
+func cbasChunk(nonuniform bool) chunkRunner {
+	return func(ctx context.Context, ws *workspace, t task, start graph.NodeID, root *rng.Stream, r core.Request) outcome {
+		oc := outcome{sol: core.Solution{Willingness: math.Inf(-1)}}
+		if t.greedy {
+			ws.growGreedy(start)
+			oc.sol = ws.snapshot()
+			ws.inc.raise(ws.will)
+		}
+		for s := t.lo; s < t.hi; s++ {
 			if ctx.Err() != nil {
 				return oc
 			}
-			stream := root.SplitN(uint64(startIdx), uint64(s))
+			stream := root.SplitN(uint64(t.startIdx), uint64(s))
 			oc.samples++
 			var abandoned bool
 			if nonuniform {
@@ -116,6 +125,7 @@ func cbasStart(nonuniform bool) startRunner {
 				oc.pruned++
 				continue
 			}
+			ws.inc.raise(ws.will)
 			if ws.will > oc.sol.Willingness {
 				oc.sol = ws.snapshot()
 			}

@@ -2,6 +2,8 @@ package solver
 
 import (
 	"context"
+	"fmt"
+	"runtime"
 	"testing"
 
 	"waso/internal/core"
@@ -58,6 +60,54 @@ func BenchmarkSolvePrepped(b *testing.B) {
 	}
 }
 
+// BenchmarkLargeGraph is the production-scale trajectory benchmark: a
+// 100k-node power-law instance, worker-scaling sweep 1/2/4/8 for the
+// sample-chunk scheduler, and prepped vs unprepped solves (the serving
+// path always runs prepped). GOMAXPROCS is raised to the top of the sweep
+// for the duration so worker counts are not clamped on small runners; on
+// machines with fewer cores the high-worker rows measure scheduling
+// overhead rather than speedup. CI runs this at -benchtime=20x as a
+// build-and-run guard (not a threshold gate); cmd/wasobench is the
+// JSON-emitting harness over the same sweep.
+func BenchmarkLargeGraph(b *testing.B) {
+	const n = 100_000
+	g := benchGraph(b, n)
+	prep := NewPrep(g)
+	ctx := WithPrep(context.Background(), prep)
+	base := core.DefaultRequest(10)
+	base.Samples = 50
+
+	prevProcs := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prevProcs)
+
+	for _, algo := range []Solver{CBAS{}, CBASND{}} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("n=%d/%s/workers=%d", n, algo.Name(), workers), func(b *testing.B) {
+				r := base
+				r.Workers = workers
+				for i := 0; i < b.N; i++ {
+					r.Seed = uint64(i)
+					if _, err := algo.Solve(ctx, g, r); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+	// Unprepped: each Solve pays the O(n log n) NodeScore ranking, the
+	// cost WithPrep amortizes away for resident graphs.
+	b.Run(fmt.Sprintf("n=%d/cbasnd/workers=1/unprepped", n), func(b *testing.B) {
+		r := base
+		r.Workers = 1
+		for i := 0; i < b.N; i++ {
+			r.Seed = uint64(i)
+			if _, err := (CBASND{}).Solve(context.Background(), g, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkGrowth isolates one sample growth (the inner loop of every
 // randomized solver) without the multi-start scaffolding.
 func BenchmarkGrowth(b *testing.B) {
@@ -72,7 +122,8 @@ func BenchmarkGrowth(b *testing.B) {
 			} else {
 				r.Sampler = core.SamplerLinear
 			}
-			ws := newWorkspace(g, r, prep.topSums(10))
+			ws := newWorkspace(g)
+			ws.configure(r, prep.topSums(10))
 			root := rng.New(7)
 			for i := 0; i < b.N; i++ {
 				stream := root.SplitN(0, uint64(i))

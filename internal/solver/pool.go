@@ -1,0 +1,64 @@
+package solver
+
+import (
+	"context"
+	"sync"
+
+	"waso/internal/core"
+	"waso/internal/graph"
+)
+
+// WorkspacePool recycles per-worker solver workspaces — the O(n) scratch
+// state (bitsets, frontier slots, Fenwick tree) every worker needs — across
+// Solve calls against one graph. A long-lived caller that solves many
+// requests against the same resident graph (the wasod serving path) keeps
+// one pool per graph and attaches it with WithWorkspacePool; workers then
+// draw warm buffers instead of allocating O(n) per request. Safe for
+// concurrent use; a pooled workspace is re-parameterized per request
+// (k, alpha, sampler backend), so requests with different tuning share the
+// same buffers.
+type WorkspacePool struct {
+	g    *graph.Graph
+	pool sync.Pool
+}
+
+// NewWorkspacePool returns an empty pool of workspaces for g.
+func NewWorkspacePool(g *graph.Graph) *WorkspacePool {
+	wp := &WorkspacePool{g: g}
+	wp.pool.New = func() any { return newWorkspace(g) }
+	return wp
+}
+
+// Graph returns the graph this pool allocates workspaces for.
+func (wp *WorkspacePool) Graph() *graph.Graph { return wp.g }
+
+// get returns a workspace configured for req. The caller must put it back.
+func (wp *WorkspacePool) get(req core.Request, topSum []float64) *workspace {
+	ws := wp.pool.Get().(*workspace)
+	ws.configure(req, topSum)
+	return ws
+}
+
+// put returns a workspace to the pool. The workspace's sparse state (set,
+// touched, slot lists) stays as the last growth left it — the next growth's
+// reset clears it in O(touched), exactly as between samples.
+func (wp *WorkspacePool) put(ws *workspace) { wp.pool.Put(ws) }
+
+// poolCtxKey carries a *WorkspacePool through a context.
+type poolCtxKey struct{}
+
+// WithWorkspacePool returns a context carrying wp. A Solve whose context
+// carries a pool for the same graph draws worker workspaces from it instead
+// of allocating fresh ones — the mechanism the service layer uses to stop
+// per-request O(n) allocation.
+func WithWorkspacePool(ctx context.Context, wp *WorkspacePool) context.Context {
+	return context.WithValue(ctx, poolCtxKey{}, wp)
+}
+
+// workspacePoolFor returns the context's pool when it matches g, else nil.
+func workspacePoolFor(ctx context.Context, g *graph.Graph) *WorkspacePool {
+	if wp, ok := ctx.Value(poolCtxKey{}).(*WorkspacePool); ok && wp != nil && wp.g == g {
+		return wp
+	}
+	return nil
+}

@@ -15,24 +15,40 @@
 // the four built-ins self-register, and external packages can plug in
 // additional algorithms without touching this package.
 //
-// Every solver runs the same deterministic multi-start driver: the top
-// Request.Starts nodes by NodeScore each get an independent search whose
-// randomness derives from rng.Split sub-streams labelled (start index,
-// sample index). Results are reduced in start order, so the outcome of a
-// run depends only on (graph, Request minus Workers) — never on the worker
-// count or goroutine scheduling.
+// Every solver runs the same deterministic multi-start driver. The top
+// Request.Starts nodes by NodeScore each get an independent search, and the
+// sample budget is decomposed into (start, sample-chunk) tasks fed to a
+// worker pool, so cores stay busy even when starts < workers or one start
+// dominates the work. Every random draw derives from rng.Split sub-streams
+// labelled (start index, sample index) — fixed at task-construction time —
+// and per-task outcomes are reduced in task order, so Report.Best depends
+// only on (graph, Request minus Workers), never on the worker count or
+// goroutine scheduling.
+//
+// Pruning is cross-start: all workers share one lock-free global incumbent
+// (float bits in an atomic.Uint64, raised by monotone CAS-max) holding the
+// best willingness of any completed growth so far, and CBAS/CBASND abandon
+// a growth once its §3.1 upper bound cannot beat it. Because the incumbent
+// only ever holds the willingness of real candidate solutions, any growth
+// abandoned against it could never have been the final best — Report.Best
+// is unchanged by pruning and by worker count. Which samples get abandoned,
+// however, depends on how fast the incumbent rises on a given schedule, so
+// Report.Pruned is an advisory counter (see core.Report).
 //
 // Solve is context-aware: cancellation and deadlines are observed between
-// starts and between samples, and a cancelled Solve returns ctx.Err()
+// tasks and between samples, and a cancelled Solve returns ctx.Err()
 // without leaking goroutines. Long-lived callers that solve many requests
 // against the same graph can precompute the NodeScore ranking once with
-// NewPrep and attach it via WithPrep; Solve picks it up from the context
-// and skips the per-call ranking pass.
+// NewPrep and attach it via WithPrep — Solve picks it up from the context
+// and skips the per-call ranking pass — and can recycle per-worker scratch
+// buffers across calls with a WorkspacePool attached via
+// WithWorkspacePool.
 //
-// CBAS and CBASND seed their per-start incumbent with the deterministic
-// greedy completion from that start. This tightens the pruning bound from
-// the first sample and guarantees the randomized solvers never return a
-// worse group than DGreedy under the same start set.
+// CBAS and CBASND schedule the deterministic greedy completion of every
+// start ahead of all sampling, so the shared incumbent starts at the best
+// greedy solution across the whole start set. This tightens the pruning
+// bound from the first sample and guarantees the randomized solvers never
+// return a worse group than DGreedy under the same start set.
 package solver
 
 import (
@@ -40,8 +56,9 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"waso/internal/core"
@@ -127,12 +144,13 @@ func All() []Solver {
 type Prep struct {
 	g      *graph.Graph
 	ranked []graph.NodeID // node ids by NodeScore descending, id ascending
-	sorted []float64      // NodeScore of ranked[i] — the descending score sequence
+	prefix []float64      // prefix[r] = sum of the r largest NodeScores
 }
 
 // NewPrep ranks every node of g by NodeScore. O(n log n + m). The per-node
-// score array is construction scratch only — a resident Prep retains just
-// the ranking and its score sequence.
+// score array is construction scratch only — a resident Prep retains the
+// ranking and the prefix sums of its score sequence, so topSums for any k
+// is a zero-allocation slice of precomputed storage.
 func NewPrep(g *graph.Graph) *Prep {
 	n := g.N()
 	scores := make([]float64, n)
@@ -141,16 +159,18 @@ func NewPrep(g *graph.Graph) *Prep {
 		scores[i] = g.NodeScore(graph.NodeID(i))
 		p.ranked[i] = graph.NodeID(i)
 	}
-	sort.Slice(p.ranked, func(a, b int) bool {
-		va, vb := p.ranked[a], p.ranked[b]
-		if scores[va] != scores[vb] {
-			return scores[va] > scores[vb]
+	slices.SortFunc(p.ranked, func(a, b graph.NodeID) int {
+		if scores[a] != scores[b] {
+			if scores[a] > scores[b] {
+				return -1
+			}
+			return 1
 		}
-		return va < vb
+		return int(a - b) // ids are non-negative, so the difference cannot overflow
 	})
-	p.sorted = make([]float64, n)
+	p.prefix = make([]float64, n+1)
 	for i, v := range p.ranked {
-		p.sorted[i] = scores[v]
+		p.prefix[i+1] = p.prefix[i] + scores[v]
 	}
 	return p
 }
@@ -170,16 +190,14 @@ func (p *Prep) Starts(s int) []graph.NodeID {
 // topSums returns prefix sums of the descending NodeScore ranking:
 // topSum[r] = the largest possible total score of r distinct nodes. The
 // pruning bound charges each remaining addition its own node's score, so
-// no completion can gain more than topSum[k−|S|].
+// no completion can gain more than topSum[k−|S|]. The slice aliases the
+// Prep's precomputed (immutable) prefix array — O(1), no allocation, safe
+// to hand to every worker of every concurrent Solve.
 func (p *Prep) topSums(k int) []float64 {
-	if k > len(p.sorted) {
-		k = len(p.sorted)
+	if k >= len(p.prefix) {
+		k = len(p.prefix) - 1
 	}
-	topSum := make([]float64, k+1)
-	for r := 1; r <= k; r++ {
-		topSum[r] = topSum[r-1] + p.sorted[r-1]
-	}
-	return topSum
+	return p.prefix[:k+1]
 }
 
 // prepCtxKey carries a *Prep through a context.
@@ -207,27 +225,89 @@ func PickStarts(g *graph.Graph, s int) []graph.NodeID {
 }
 
 // ---------------------------------------------------------------------------
-// Multi-start driver
+// Shared incumbent
 
-// startOutcome is what exploring one start node produced.
-type startOutcome struct {
+// incumbent is the cross-start branch-and-bound lower bound every worker of
+// one Solve shares: the best willingness of any completed growth so far,
+// stored as float bits in an atomic.Uint64 and raised by monotone CAS-max.
+// Lock-free — readers pay one atomic load per pruning check, writers CAS
+// only on strict improvement. It holds only willingness values of real
+// candidate solutions (greedy completions and fully-grown samples), so
+// pruning against it can never discard a growth that would have been the
+// final best.
+type incumbent struct{ bits atomic.Uint64 }
+
+func newIncumbent() *incumbent {
+	in := &incumbent{}
+	in.bits.Store(math.Float64bits(math.Inf(-1)))
+	return in
+}
+
+// get returns the current lower bound.
+func (in *incumbent) get() float64 { return math.Float64frombits(in.bits.Load()) }
+
+// raise lifts the bound to w if w is an improvement; monotone under races.
+func (in *incumbent) raise(w float64) {
+	for {
+		old := in.bits.Load()
+		if math.Float64frombits(old) >= w {
+			return
+		}
+		if in.bits.CompareAndSwap(old, math.Float64bits(w)) {
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Sample-chunk scheduler
+
+// sampleChunk is the scheduling granularity of the sample budget: each
+// (start, chunk) task covers up to this many samples. Small enough to keep
+// all workers busy when starts < workers or one start dominates, large
+// enough that per-task overhead (channel hop, outcome slot) is noise. The
+// decomposition is a pure function of the Request, never of Workers, so it
+// cannot affect results.
+const sampleChunk = 32
+
+// task is one unit of scheduled work: either the deterministic greedy
+// completion of start startIdx (greedy set, empty sample range) or samples
+// [lo, hi) of that start.
+type task struct {
+	startIdx int
+	lo, hi   int
+	greedy   bool
+}
+
+// outcome is what one task produced.
+type outcome struct {
 	sol     core.Solution
 	samples int64
 	pruned  int64
 }
 
-// startRunner explores a single start node. Implementations must derive all
-// randomness from root.SplitN(startIdx, sampleIdx) so outcomes are
-// independent of worker scheduling, and must return early (with a partial
-// outcome) once ctx is done.
-type startRunner func(ctx context.Context, ws *workspace, start graph.NodeID, startIdx int, root *rng.Stream, req core.Request) startOutcome
+// chunkRunner executes one task. Implementations must derive all randomness
+// from root.SplitN(t.startIdx, sampleIdx) so a sample's growth is a pure
+// function of the task — independent of worker scheduling — and must return
+// early (with a partial outcome) once ctx is done.
+type chunkRunner func(ctx context.Context, ws *workspace, t task, start graph.NodeID, root *rng.Stream, req core.Request) outcome
 
-// multiStart is the shared parallel driver: it fans the start nodes over a
-// worker pool (one reusable workspace per worker) and reduces per-start
-// outcomes in start order, making the result schedule-independent. When ctx
-// is cancelled or its deadline passes, workers stop between starts and
-// between samples, every goroutine exits, and the call returns ctx.Err().
-func multiStart(ctx context.Context, name string, g *graph.Graph, req core.Request, run startRunner) (core.Report, error) {
+// multiStart is the shared parallel driver: it decomposes the per-start
+// sample budget into (start, sample-chunk) tasks, fans them over a worker
+// pool (one reusable workspace per worker, drawn from a context-attached
+// WorkspacePool when available), and reduces per-task outcomes in task
+// order. budget is the per-start sample count (0 for deterministic
+// solvers); warm runs the greedy completion at the head of each start's
+// first chunk.
+//
+// Report.Best is schedule-independent: every sample's growth is a pure
+// function of its sub-stream, and the shared incumbent only ever prunes
+// growths that provably cannot beat a completed candidate. Report.Pruned is
+// advisory — it depends on how fast the incumbent rises under a given
+// schedule. When ctx is cancelled or its deadline passes, workers stop
+// between tasks and between samples, every goroutine exits, and the call
+// returns ctx.Err().
+func multiStart(ctx context.Context, name string, g *graph.Graph, req core.Request, budget int, warm bool, run chunkRunner) (core.Report, error) {
 	began := time.Now()
 	if g == nil || g.N() == 0 {
 		return core.Report{}, fmt.Errorf("solver: %s on empty graph", name)
@@ -244,8 +324,42 @@ func multiStart(ctx context.Context, name string, g *graph.Graph, req core.Reque
 	prep := prepFor(ctx, g)
 	starts := prep.Starts(req.Starts)
 	topSum := prep.topSums(req.K)
-	outcomes := make([]startOutcome, len(starts))
 	root := rng.New(req.Seed)
+
+	// Budget decomposition. Greedy warm starts are their own tasks, emitted
+	// ahead of every sampling chunk: they are cheap, they are candidate
+	// solutions in their own right, and running them first lifts the shared
+	// incumbent to the best greedy completion across ALL starts before any
+	// sample is drawn — a strictly tighter pruning bound than the per-start
+	// warm start it replaces. Sampling chunks follow in start-major order.
+	// The decomposition is a function of the Request only, never of
+	// Workers, so it cannot affect results.
+	chunks := (budget + sampleChunk - 1) / sampleChunk
+	tasks := make([]task, 0, len(starts)*(chunks+1))
+	if warm {
+		for si := range starts {
+			tasks = append(tasks, task{startIdx: si, greedy: true})
+		}
+	}
+	for si := range starts {
+		for c := 0; c < chunks; c++ {
+			lo := c * sampleChunk
+			hi := lo + sampleChunk
+			if hi > budget {
+				hi = budget
+			}
+			tasks = append(tasks, task{startIdx: si, lo: lo, hi: hi})
+		}
+	}
+	if len(tasks) == 0 {
+		// Purely sampling-based solver with a zero budget: keep one empty
+		// task per start so the explicit no-group error below still fires.
+		for si := range starts {
+			tasks = append(tasks, task{startIdx: si})
+		}
+	}
+	outcomes := make([]outcome, len(tasks))
+	inc := newIncumbent()
 
 	// Workers is scheduling-only (results are schedule-independent), so a
 	// wire-supplied value is clamped to GOMAXPROCS: more goroutines than
@@ -254,25 +368,35 @@ func multiStart(ctx context.Context, name string, g *graph.Graph, req core.Reque
 	if maxProcs := runtime.GOMAXPROCS(0); workers <= 0 || workers > maxProcs {
 		workers = maxProcs
 	}
-	if workers > len(starts) {
-		workers = len(starts)
+	if workers > len(tasks) {
+		workers = len(tasks)
 	}
+	pool := workspacePoolFor(ctx, g)
 	idxCh := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ws := newWorkspace(g, req, topSum)
+			var ws *workspace
+			if pool != nil {
+				ws = pool.get(req, topSum)
+				defer pool.put(ws)
+			} else {
+				ws = newWorkspace(g)
+				ws.configure(req, topSum)
+			}
+			ws.inc = inc
 			for idx := range idxCh {
 				if ctx.Err() != nil {
 					continue // drain without working so the feeder never blocks
 				}
-				outcomes[idx] = run(ctx, ws, starts[idx], idx, root, req)
+				t := tasks[idx]
+				outcomes[idx] = run(ctx, ws, t, starts[t.startIdx], root, req)
 			}
 		}()
 	}
-	for idx := range starts {
+	for idx := range tasks {
 		idxCh <- idx
 	}
 	close(idxCh)
@@ -286,6 +410,9 @@ func multiStart(ctx context.Context, name string, g *graph.Graph, req core.Reque
 	for _, oc := range outcomes {
 		rep.SamplesDrawn += oc.samples
 		rep.Pruned += oc.pruned
+		if oc.sol.Size() == 0 {
+			continue // task produced no candidate (empty chunk, all pruned)
+		}
 		if oc.sol.Better(best) {
 			best = oc.sol
 		}

@@ -62,8 +62,11 @@ func TestSolverInvariants(t *testing.T) {
 	}
 }
 
-// TestWorkerIndependence: a fixed seed yields the identical result (and
-// identical search counters) no matter how many workers run the starts.
+// TestWorkerIndependence: a fixed seed yields the identical best group (and
+// sample count) no matter how many workers run the tasks. Pruned is
+// deliberately not compared — it is advisory, a function of how fast the
+// shared incumbent rises under a given schedule. The exhaustive version of
+// this check is TestWorkerCountInvariance.
 func TestWorkerIndependence(t *testing.T) {
 	ctx := context.Background()
 	g := powerlawInstance(t, 500, 11)
@@ -82,9 +85,9 @@ func TestWorkerIndependence(t *testing.T) {
 			if !rep.Best.Equal(ref.Best) || rep.Best.Willingness != ref.Best.Willingness {
 				t.Errorf("%s: workers=%d got %v, workers=1 got %v", s.Name(), workers, rep.Best, ref.Best)
 			}
-			if rep.SamplesDrawn != ref.SamplesDrawn || rep.Pruned != ref.Pruned {
-				t.Errorf("%s: workers=%d counters (%d,%d) != workers=1 (%d,%d)",
-					s.Name(), workers, rep.SamplesDrawn, rep.Pruned, ref.SamplesDrawn, ref.Pruned)
+			if rep.SamplesDrawn != ref.SamplesDrawn {
+				t.Errorf("%s: workers=%d drew %d samples, workers=1 drew %d",
+					s.Name(), workers, rep.SamplesDrawn, ref.SamplesDrawn)
 			}
 		}
 	}

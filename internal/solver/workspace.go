@@ -11,13 +11,17 @@ import (
 )
 
 // workspace holds the per-worker scratch state for growing connected
-// groups. All structures are sized once for the graph and reset sparsely
-// between samples (bitset.ClearList, Fenwick slot zeroing), so a sample
-// costs O(k · deg) rather than O(n).
+// groups. The graph-sized structures are allocated once (newWorkspace) and
+// recycled across requests through a WorkspacePool; the request-sized
+// parameters (k, alpha, sampler backend, pruning table) are set per Solve
+// by configure. All per-growth state is reset sparsely between samples
+// (bitset.ClearList, bulk Fenwick Reset), so a sample costs O(k · deg)
+// rather than O(n).
 type workspace struct {
 	g      *graph.Graph
 	k      int
-	topSum []float64 // topSum[r] = sum of the r largest NodeScores in V
+	topSum []float64  // topSum[r] = sum of the r largest NodeScores in V
+	inc    *incumbent // shared cross-start lower bound for pruning
 
 	inSet   *bitset.Set    // membership of the growing group
 	inFront *bitset.Set    // membership of the frontier (ever this growth)
@@ -32,34 +36,63 @@ type workspace struct {
 	slots  []graph.NodeID // slot -> node
 	slotOf []int32        // node -> slot (valid while inFront)
 	delta  []float64      // slot -> ΔW(node | set)
-	weight []float64      // scratch for linear weighted draws
+
+	// Linear ΔW^α draws: cached slot weights plus a running total, updated
+	// only when a slot's ΔW changes (exactly like the Fenwick weights), so
+	// a draw is a single prefix scan with no powWeight recomputation.
+	wLin      []float64
+	wTotal    float64
+	linActive bool // cached linear weights are live for this growth
+
+	weight []float64 // scratch for step-dependent W(S∪{v}) draws (RGreedy)
+
+	// Greedy mode: lazy max-heap over frontier slots ordered by
+	// (ΔW descending, node id ascending). Entries go stale when a slot's
+	// ΔW changes or the slot is taken; pops skip them.
+	heap       []heapEntry
+	heapActive bool // heap maintenance is live for this growth
 
 	fen       *sampling.Fenwick // lazily used Fenwick sampler over slots
-	useFen    bool              // backend decision for this workspace
+	useFen    bool              // backend decision for this request
 	fenActive bool              // Fenwick weights are live for this growth
 	alpha     float64           // CBASND exponent for Fenwick weight updates
 }
 
-// newWorkspace sizes the scratch state for g. topSum is the shared
-// read-only pruning-bound table from Prep.topSums.
-func newWorkspace(g *graph.Graph, req core.Request, topSum []float64) *workspace {
+// heapEntry is one lazy max-heap element: the ΔW and node of a frontier
+// slot at push time. Stale once ws.delta[slot] moves past d.
+type heapEntry struct {
+	d    float64
+	v    graph.NodeID
+	slot int32
+}
+
+// newWorkspace allocates the graph-sized scratch state for g. The result
+// is unusable until configure sets the request parameters.
+func newWorkspace(g *graph.Graph) *workspace {
 	n := g.N()
-	useFen := req.Sampler == core.SamplerFenwick ||
-		(req.Sampler == core.SamplerAuto && float64(req.K)*g.AvgDegree() > FenwickCrossover)
-	ws := &workspace{
+	return &workspace{
 		g:       g,
-		k:       req.K,
-		topSum:  topSum,
+		inc:     newIncumbent(),
 		inSet:   bitset.New(n),
 		inFront: bitset.New(n),
 		slotOf:  make([]int32, n),
-		useFen:  useFen,
-		alpha:   req.Alpha,
 	}
-	if useFen {
-		ws.fen = sampling.NewFenwick(n)
+}
+
+// configure (re)parameterizes the workspace for one request: group-size
+// bound, pruning table, CBASND exponent, and sampler backend. topSum is the
+// shared read-only pruning-bound table from Prep.topSums. Cheap — scalars
+// plus at most one lazy Fenwick allocation — so pooled workspaces are
+// reconfigured per request.
+func (ws *workspace) configure(req core.Request, topSum []float64) {
+	ws.k = req.K
+	ws.topSum = topSum
+	ws.alpha = req.Alpha
+	ws.useFen = req.Sampler == core.SamplerFenwick ||
+		(req.Sampler == core.SamplerAuto && float64(req.K)*ws.g.AvgDegree() > FenwickCrossover)
+	if ws.useFen && ws.fen == nil {
+		ws.fen = sampling.NewFenwick(ws.g.N())
 	}
-	return ws
 }
 
 // reset sparsely clears the previous growth. O(touched).
@@ -67,9 +100,10 @@ func (ws *workspace) reset() {
 	ws.inSet.ClearList(ws.set)
 	ws.inFront.ClearList(ws.touched)
 	if ws.fenActive {
-		for s := range ws.slots {
-			ws.fen.Set(s, 0)
-		}
+		// Slots are assigned densely from 0, so only the first len(slots)
+		// Fenwick slots can be live — one bulk Reset instead of a Set(s, 0)
+		// per slot.
+		ws.fen.Reset(len(ws.slots))
 		ws.fenActive = false
 	}
 	ws.set = ws.set[:0]
@@ -77,6 +111,11 @@ func (ws *workspace) reset() {
 	ws.pool = ws.pool[:0]
 	ws.slots = ws.slots[:0]
 	ws.delta = ws.delta[:0]
+	ws.wLin = ws.wLin[:0]
+	ws.wTotal = 0
+	ws.linActive = false
+	ws.heap = ws.heap[:0]
+	ws.heapActive = false
 	ws.will = 0
 }
 
@@ -109,18 +148,37 @@ func (ws *workspace) upperBound() float64 {
 	return ws.will + ws.topSum[r]
 }
 
+// hopeless reports whether the current partial group provably cannot beat
+// bestW or the shared incumbent — the cross-start branch-and-bound test.
+// One atomic load per check keeps the bound as fresh as other workers'
+// completed growths.
+//
+// The comparison against the shared incumbent is strict (<, not ≤): the
+// incumbent rises at schedule-dependent times, and on an exact willingness
+// tie core.Solution.Better falls back to the lexicographically smaller
+// node set — a ≤ prune could abandon a tying growth that would have won
+// that tie-break under a different worker count. With <, every pruned
+// growth is strictly worse than a completed candidate, so Report.Best
+// stays bit-identical across schedules even through exact ties. The
+// chunk-local bound is deterministic for a given task, so ≤ is safe there
+// and prunes marginally more.
+func (ws *workspace) hopeless(bestW float64) bool {
+	ub := ws.upperBound()
+	return ub <= bestW || ub < ws.inc.get()
+}
+
 // ---------------------------------------------------------------------------
 // Uniform growth (CBAS phase 2)
 
 // growUniform grows a connected group from start by drawing frontier nodes
 // uniformly at random until |set| = k or the frontier is exhausted. When
 // prune is set, the growth is abandoned (returning true) as soon as the
-// upper bound cannot beat bestW.
+// upper bound cannot beat bestW or the shared incumbent.
 func (ws *workspace) growUniform(start graph.NodeID, r *rng.Stream, bestW float64, prune bool) (pruned bool) {
 	ws.reset()
 	ws.addUniform(start)
 	for len(ws.set) < ws.k && len(ws.pool) > 0 {
-		if prune && ws.upperBound() <= bestW {
+		if prune && ws.hopeless(bestW) {
 			return true
 		}
 		i := r.IntN(len(ws.pool))
@@ -183,12 +241,19 @@ func (ws *workspace) seedSlot(start graph.NodeID) {
 	ws.touched = append(ws.touched, start)
 	ws.slots = append(ws.slots, start)
 	ws.slotOf[start] = 0
-	ws.delta = append(ws.delta, ws.g.Interest(start))
+	d := ws.g.Interest(start)
+	ws.delta = append(ws.delta, d)
+	if ws.linActive {
+		w := powWeight(d, ws.alpha)
+		ws.wLin = append(ws.wLin, w)
+		ws.wTotal += w
+	}
 	ws.takeSlot(0)
 }
 
 // takeSlot moves the node at slot into the group and refreshes the ΔW of
-// affected frontier slots (and their Fenwick weights when active).
+// affected frontier slots (plus their Fenwick weights or heap entries when
+// the corresponding mode is active).
 func (ws *workspace) takeSlot(slot int) {
 	v := ws.slots[slot]
 	ws.will += ws.delta[slot]
@@ -196,6 +261,10 @@ func (ws *workspace) takeSlot(slot int) {
 	ws.set = append(ws.set, v)
 	if ws.fenActive {
 		ws.fen.Set(slot, 0)
+	}
+	if ws.linActive {
+		ws.wTotal -= ws.wLin[slot]
+		ws.wLin[slot] = 0
 	}
 	nbrs, tauOut, tauIn := ws.g.Edges(v)
 	for p, u := range nbrs {
@@ -207,6 +276,14 @@ func (ws *workspace) takeSlot(slot int) {
 			ws.delta[s] += tauOut[p] + tauIn[p]
 			if ws.fenActive {
 				ws.fen.Set(s, powWeight(ws.delta[s], ws.alpha))
+			}
+			if ws.linActive {
+				w := powWeight(ws.delta[s], ws.alpha)
+				ws.wTotal += w - ws.wLin[s]
+				ws.wLin[s] = w
+			}
+			if ws.heapActive {
+				ws.heapPush(heapEntry{d: ws.delta[s], v: u, slot: int32(s)})
 			}
 			continue
 		}
@@ -220,41 +297,113 @@ func (ws *workspace) takeSlot(slot int) {
 		if ws.fenActive {
 			ws.fen.Set(s, powWeight(d, ws.alpha))
 		}
+		if ws.linActive {
+			w := powWeight(d, ws.alpha)
+			ws.wLin = append(ws.wLin, w)
+			ws.wTotal += w
+		}
+		if ws.heapActive {
+			ws.heapPush(heapEntry{d: d, v: u, slot: int32(s)})
+		}
 	}
 }
 
+// heapLess orders the greedy frontier: larger ΔW first, ties to the
+// smallest node id — the same total order the step scan used, so the heap
+// replacement is bit-compatible with it.
+func heapLess(a, b heapEntry) bool {
+	if a.d != b.d {
+		return a.d > b.d
+	}
+	return a.v < b.v
+}
+
+// heapPush sifts e up the lazy max-heap.
+func (ws *workspace) heapPush(e heapEntry) {
+	h := append(ws.heap, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !heapLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	ws.heap = h
+}
+
+// heapPop removes and returns the top entry. Callers check staleness.
+func (ws *workspace) heapPop() heapEntry {
+	h := ws.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		next := i
+		if l < len(h) && heapLess(h[l], h[next]) {
+			next = l
+		}
+		if r < len(h) && heapLess(h[r], h[next]) {
+			next = r
+		}
+		if next == i {
+			break
+		}
+		h[i], h[next] = h[next], h[i]
+		i = next
+	}
+	ws.heap = h
+	return top
+}
+
+// popBest returns the frontier slot with maximum current ΔW (ties to the
+// smallest node id), or -1 if the frontier is exhausted. Entries whose slot
+// was taken or whose ΔW moved since push are stale and skipped; every
+// update pushes a fresh entry, so the live maximum is always present.
+func (ws *workspace) popBest() int {
+	for len(ws.heap) > 0 {
+		e := ws.heapPop()
+		if ws.inSet.Contains(int(e.v)) || ws.delta[e.slot] != e.d {
+			continue
+		}
+		return int(e.slot)
+	}
+	return -1
+}
+
 // growGreedy grows deterministically from start, adding the frontier node
-// with maximum ΔW each step (ties to the smallest id).
+// with maximum ΔW each step (ties to the smallest id). The frontier is kept
+// in a lazy max-heap, so each step costs O(log frontier) amortized instead
+// of the O(frontier) scan it replaces.
 func (ws *workspace) growGreedy(start graph.NodeID) {
 	ws.reset()
+	ws.heapActive = true
 	ws.seedSlot(start)
 	for len(ws.set) < ws.k {
-		best, bestD := -1, 0.0
-		for s, v := range ws.slots {
-			if ws.inSet.Contains(int(v)) {
-				continue
-			}
-			d := ws.delta[s]
-			if best == -1 || d > bestD || (d == bestD && v < ws.slots[best]) {
-				best, bestD = s, d
-			}
-		}
+		best := ws.popBest()
 		if best < 0 {
-			return
+			break
 		}
 		ws.takeSlot(best)
 	}
+	ws.heapActive = false
 }
 
 // growWeighted grows randomly from start, drawing each next node with the
 // probability law selected by kind. When prune is set, the growth is
-// abandoned (returning true) once the upper bound cannot beat bestW.
+// abandoned (returning true) once the upper bound cannot beat bestW or the
+// shared incumbent.
 func (ws *workspace) growWeighted(start graph.NodeID, r *rng.Stream, kind weightKind, bestW float64, prune bool) (pruned bool) {
 	ws.reset()
 	ws.fenActive = ws.useFen && kind == weightDeltaPow
+	ws.linActive = !ws.useFen && kind == weightDeltaPow
 	ws.seedSlot(start)
 	for len(ws.set) < ws.k {
-		if prune && ws.upperBound() <= bestW {
+		if prune && ws.hopeless(bestW) {
 			return true
 		}
 		slot := ws.drawSlot(r, kind)
@@ -267,7 +416,13 @@ func (ws *workspace) growWeighted(start graph.NodeID, r *rng.Stream, kind weight
 }
 
 // drawSlot picks the next frontier slot, or -1 if the frontier is
-// exhausted (every slot selected or zero-weight).
+// exhausted (every slot selected or zero-weight). Both linear paths
+// short-circuit outright when every slot has been taken (len(slots) ==
+// len(set), since each group member occupies exactly one slot), so nothing
+// is re-derived for slots already in the group. ΔW^α draws use the cached
+// weights and running total maintained by takeSlot — one prefix scan, no
+// powWeight recomputation; W(S∪{v}) draws (RGreedy) are step-dependent and
+// derive weights on the fly.
 func (ws *workspace) drawSlot(r *rng.Stream, kind weightKind) int {
 	if ws.fenActive {
 		slot, err := ws.fen.Sample(r)
@@ -276,18 +431,39 @@ func (ws *workspace) drawSlot(r *rng.Stream, kind weightKind) int {
 		}
 		return slot
 	}
+	if len(ws.slots) == len(ws.set) {
+		return -1 // frontier exhausted: every slot is in the group
+	}
+	if ws.linActive {
+		if ws.wTotal <= 0 {
+			return -1
+		}
+		u := r.Float64() * ws.wTotal
+		acc := 0.0
+		last := -1
+		for s, w := range ws.wLin {
+			if w <= 0 {
+				continue // taken or zero-gain slot
+			}
+			acc += w
+			last = s
+			if u < acc {
+				return s
+			}
+		}
+		// Floating-point slack: the running total drifted past the exact
+		// prefix sum, or every live slot carries zero weight.
+		return last
+	}
+	// Step-dependent W(S∪{v}) weights: derive once into scratch (taken
+	// slots weigh 0) and reuse the shared prefix-scan sampler.
 	w := ws.weight[:0]
 	for s, v := range ws.slots {
 		if ws.inSet.Contains(int(v)) {
 			w = append(w, 0)
 			continue
 		}
-		switch kind {
-		case weightGroup:
-			w = append(w, ws.will+ws.delta[s])
-		default:
-			w = append(w, powWeight(ws.delta[s], ws.alpha))
-		}
+		w = append(w, ws.will+ws.delta[s])
 	}
 	ws.weight = w
 	return sampling.WeightedIndex(r, w)
