@@ -51,6 +51,7 @@ type config struct {
 	workers int
 	alpha   float64
 	sampler string
+	regions string
 	noPrune bool
 	csv     bool
 	verbose bool
@@ -71,6 +72,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fs.IntVar(&cfg.workers, "workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	fs.Float64Var(&cfg.alpha, "alpha", core.DefaultAlpha, "CBASND adapted-probability exponent")
 	fs.StringVar(&cfg.sampler, "sampler", string(core.SamplerAuto), "CBASND weighted sampler: auto, linear or fenwick")
+	fs.StringVar(&cfg.regions, "regions", string(core.RegionAuto), "per-start (k−1)-hop search regions: auto, off or always (results-neutral)")
 	fs.BoolVar(&cfg.noPrune, "noprune", false, "disable the CBAS/CBASND pruning bound")
 	fs.BoolVar(&cfg.csv, "csv", false, "emit CSV instead of an aligned table")
 	fs.BoolVar(&cfg.verbose, "v", false, "print per-seed solutions")
@@ -86,6 +88,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	req.Samples = cfg.samples
 	req.Alpha = cfg.alpha
 	req.Sampler = core.Sampler(cfg.sampler)
+	req.Region = core.RegionMode(cfg.regions)
 	req.Prune = !cfg.noPrune
 	req.Workers = cfg.workers
 	if err := req.Validate(); err != nil {

@@ -1,15 +1,24 @@
 // Command wasobench is the large-graph benchmark harness: it generates
-// power-law instances at production scale (100k–1M nodes), sweeps the
-// solvers across worker counts with and without the shared Prep, and emits
-// a BENCH_solvers.json-style report. It exists alongside the go-test
-// benchmarks (BenchmarkLargeGraph) so CI and operators can produce a
-// machine-readable scaling trajectory in one shot:
+// synthetic instances at production scale (100k–1M nodes), sweeps the
+// solvers across worker counts, group sizes and region modes with and
+// without the shared per-graph state (Prep, workspace pool, region cache),
+// and emits a BENCH_solvers.json-style report. It exists alongside the
+// go-test benchmarks (BenchmarkLargeGraph) so CI and operators can produce
+// a machine-readable scaling trajectory in one shot:
 //
 //	wasobench -n 100000,1000000 -workers 1,2,4,8 -out bench-large.json
+//	wasobench -gen er -ks 4 -regions auto,off -n 1000000   # locality sweep
 //
 // Row names match the go-test benchmark tree
 // (BenchmarkLargeGraph/n=.../algo/workers=...), so wasobench output slots
-// directly into BENCH_solvers.json.
+// directly into BENCH_solvers.json. Default-valued sweep axes (powerlaw,
+// k=10, regions=auto) are omitted from names, keeping them comparable
+// across releases.
+//
+// wasobench is also the regression gate: -compare-base/-compare-new check
+// a freshly generated report against a committed baseline row by row and
+// fail on ns/op regressions beyond -compare-tolerance — the CI perf-smoke
+// guard for the region-mode serving path.
 package main
 
 import (
@@ -37,6 +46,15 @@ func main() {
 	}
 }
 
+// Default sweep-axis values, shared by the flag declarations and rowName
+// so the "omit defaults from row names" rule can never drift from the
+// flags it mirrors (the CI compare gate keys on these names).
+const (
+	defaultGen     = "powerlaw"
+	defaultK       = 10
+	defaultRegions = core.RegionAuto
+)
+
 // report is the BENCH_solvers.json document shape.
 type report struct {
 	Date       string  `json:"date"`
@@ -62,16 +80,23 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("wasobench", flag.ContinueOnError)
 	var (
 		ns       = fs.String("n", "100000", "comma-separated node counts")
+		genKind  = fs.String("gen", defaultGen, "graph generator: powerlaw or er")
 		avgDeg   = fs.Float64("avgdeg", 8, "target average degree")
 		algos    = fs.String("algos", "cbas,cbasnd", "comma-separated solvers to sweep")
-		k        = fs.Int("k", 10, "maximum group size k")
+		ks       = fs.String("ks", strconv.Itoa(defaultK), "comma-separated maximum group sizes k")
 		starts   = fs.Int("starts", 8, "start nodes per run")
 		samples  = fs.Int("samples", 50, "random samples per start")
 		workers  = fs.String("workers", "1,2,4,8", "comma-separated worker counts to sweep")
+		regions  = fs.String("regions", string(defaultRegions), "comma-separated region modes to sweep (auto, off, always)")
 		reps     = fs.Int("reps", 3, "repetitions per configuration (fastest wins)")
 		seed     = fs.Uint64("seed", 1, "graph and request seed")
 		outPath  = fs.String("out", "", "write the JSON report here instead of stdout")
 		skipCold = fs.Bool("skip-unprepped", false, "skip the unprepped (per-solve ranking) rows")
+
+		cmpBase  = fs.String("compare-base", "", "compare mode: path of the committed baseline report")
+		cmpNew   = fs.String("compare-new", "", "compare mode: path of the freshly generated report")
+		cmpMatch = fs.String("compare-match", "", "compare mode: only gate rows whose name contains this substring")
+		cmpTol   = fs.Float64("compare-tolerance", 1.25, "compare mode: fail when new/old ns_per_op exceeds this ratio")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -79,9 +104,19 @@ func run(args []string, out io.Writer) error {
 		}
 		return err
 	}
+	if (*cmpBase == "") != (*cmpNew == "") {
+		return fmt.Errorf("compare mode needs both -compare-base and -compare-new")
+	}
+	if *cmpBase != "" {
+		return runCompare(*cmpBase, *cmpNew, *cmpMatch, *cmpTol, out)
+	}
 	sizes, err := parseInts(*ns)
 	if err != nil {
 		return fmt.Errorf("-n: %w", err)
+	}
+	kSweep, err := parseInts(*ks)
+	if err != nil {
+		return fmt.Errorf("-ks: %w", err)
 	}
 	sweep, err := parseInts(*workers)
 	if err != nil {
@@ -89,6 +124,14 @@ func run(args []string, out io.Writer) error {
 	}
 	if *reps < 1 {
 		return fmt.Errorf("-reps must be ≥ 1, got %d", *reps)
+	}
+	var modes []core.RegionMode
+	for _, m := range strings.Split(*regions, ",") {
+		mode := core.RegionMode(strings.TrimSpace(m))
+		if err := mode.Validate(); err != nil {
+			return fmt.Errorf("-regions: %w", err)
+		}
+		modes = append(modes, mode)
 	}
 
 	// Fail on unknown solvers before any expensive graph build.
@@ -121,51 +164,60 @@ func run(args []string, out io.Writer) error {
 		CPU:        cpuModel(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Command:    "wasobench " + strings.Join(args, " "),
-		Note: fmt.Sprintf("Large-graph scaling sweep: power-law instances, k=%d, %d starts x %d samples, "+
-			"workers swept over the sample-chunk scheduler with shared-incumbent pruning. "+
-			"prepped rows share one solver.Prep per graph (the serving path); unprepped rows pay the per-solve ranking.",
-			*k, *starts, *samples),
+		Note: fmt.Sprintf("Large-graph scaling sweep: %s instances (avgdeg %g), %d starts x %d samples, "+
+			"workers/k/region-mode swept over the sample-chunk scheduler with shared-incumbent pruning. "+
+			"prepped rows share one solver.Prep, workspace pool and region cache per graph (the serving "+
+			"path; extraction amortizes across reps exactly as it does across requests); unprepped rows "+
+			"pay the per-solve partial ranking and any per-solve region extraction. Default sweep axes "+
+			"(powerlaw, k=10, regions=auto) are omitted from row names.",
+			*genKind, *avgDeg, *starts, *samples),
 	}
 
 	ctx := context.Background()
 	for _, n := range sizes {
-		fmt.Fprintf(os.Stderr, "wasobench: generating powerlaw n=%d avgdeg=%g...\n", n, *avgDeg)
+		fmt.Fprintf(os.Stderr, "wasobench: generating %s n=%d avgdeg=%g...\n", *genKind, n, *avgDeg)
 		began := time.Now()
-		g, err := gen.Spec{Kind: "powerlaw", N: n, AvgDeg: *avgDeg, Seed: *seed}.Build()
+		g, err := gen.Spec{Kind: *genKind, N: n, AvgDeg: *avgDeg, Seed: *seed}.Build()
 		if err != nil {
 			return err
 		}
 		prep := solver.NewPrep(g)
 		pool := solver.NewWorkspacePool(g)
-		warm := solver.WithWorkspacePool(solver.WithPrep(ctx, prep), pool)
+		cache := solver.NewRegionCache(g, 0)
+		warm := solver.WithRegionCache(solver.WithWorkspacePool(solver.WithPrep(ctx, prep), pool), cache)
 		fmt.Fprintf(os.Stderr, "wasobench: n=%d m=%d built in %v\n", g.N(), g.M(), time.Since(began).Round(time.Millisecond))
 
-		for _, algoName := range algoNames {
-			sv, err := solver.New(algoName)
-			if err != nil {
-				return err
-			}
-			req := core.DefaultRequest(*k)
-			req.Starts = *starts
-			req.Samples = *samples
-			req.Seed = *seed
-			for _, w := range sweep {
-				req.Workers = w
-				name := fmt.Sprintf("BenchmarkLargeGraph/n=%d/%s/workers=%d", n, algoName, w)
-				e, err := measure(warm, g, sv, req, name, *reps)
+		for _, k := range kSweep {
+			for _, algoName := range algoNames {
+				sv, err := solver.New(algoName)
 				if err != nil {
 					return err
 				}
-				rep.Benchmarks = append(rep.Benchmarks, e)
-			}
-			if !*skipCold {
-				req.Workers = 1
-				name := fmt.Sprintf("BenchmarkLargeGraph/n=%d/%s/workers=1/unprepped", n, algoName)
-				e, err := measure(ctx, g, sv, req, name, *reps)
-				if err != nil {
-					return err
+				req := core.DefaultRequest(k)
+				req.Starts = *starts
+				req.Samples = *samples
+				req.Seed = *seed
+				for _, mode := range modes {
+					req.Region = mode
+					for _, w := range sweep {
+						req.Workers = w
+						name := rowName(n, *genKind, k, algoName, w, mode, false)
+						e, err := measure(warm, g, sv, req, name, *reps)
+						if err != nil {
+							return err
+						}
+						rep.Benchmarks = append(rep.Benchmarks, e)
+					}
+					if !*skipCold {
+						req.Workers = 1
+						name := rowName(n, *genKind, k, algoName, 1, mode, true)
+						e, err := measure(ctx, g, sv, req, name, *reps)
+						if err != nil {
+							return err
+						}
+						rep.Benchmarks = append(rep.Benchmarks, e)
+					}
 				}
-				rep.Benchmarks = append(rep.Benchmarks, e)
 			}
 		}
 	}
@@ -184,11 +236,38 @@ func run(args []string, out io.Writer) error {
 	return enc.Encode(rep)
 }
 
-// measure runs one configuration reps times and keeps the fastest wall
-// clock, the way repeated go-test bench iterations report a best-effort
-// steady state. The solution and counters come from the fastest run (the
+// rowName renders one benchmark row name. Default sweep-axis values are
+// omitted so the canonical rows keep their historical names and stay
+// comparable across releases.
+func rowName(n int, genKind string, k int, algo string, workers int, mode core.RegionMode, unprepped bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "BenchmarkLargeGraph/n=%d", n)
+	if genKind != defaultGen {
+		fmt.Fprintf(&b, "/gen=%s", genKind)
+	}
+	if k != defaultK {
+		fmt.Fprintf(&b, "/k=%d", k)
+	}
+	fmt.Fprintf(&b, "/%s/workers=%d", algo, workers)
+	if mode != defaultRegions {
+		fmt.Fprintf(&b, "/regions=%s", mode)
+	}
+	if unprepped {
+		b.WriteString("/unprepped")
+	}
+	return b.String()
+}
+
+// measure runs one untimed warmup solve (faulting in whatever pages and
+// caches this configuration touches, so row order does not bias the
+// numbers) and then reps timed runs, keeping the fastest wall clock — the
+// way repeated go-test bench iterations report a best-effort steady
+// state. The solution and counters come from the fastest run (the
 // solution is identical across runs by determinism; Pruned is advisory).
 func measure(ctx context.Context, g *graph.Graph, sv solver.Solver, req core.Request, name string, reps int) (entry, error) {
+	if _, err := sv.Solve(ctx, g, req); err != nil {
+		return entry{}, fmt.Errorf("%s: %w", name, err)
+	}
 	best := entry{Name: name, Iters: reps}
 	for i := 0; i < reps; i++ {
 		began := time.Now()
@@ -206,6 +285,95 @@ func measure(ctx context.Context, g *graph.Graph, sv solver.Solver, req core.Req
 	}
 	fmt.Fprintf(os.Stderr, "wasobench: %-60s %12.0f ns/op\n", best.Name, best.NsPerOp)
 	return best, nil
+}
+
+// runCompare gates a fresh report against a committed baseline: every new
+// row whose name matches the filter and exists in the baseline must not be
+// slower than tolerance × the baseline ns/op. Matching zero rows is an
+// error — a gate that silently checks nothing is worse than no gate.
+func runCompare(basePath, newPath, match string, tolerance float64, out io.Writer) error {
+	if tolerance <= 0 {
+		return fmt.Errorf("-compare-tolerance must be > 0, got %v", tolerance)
+	}
+	base, err := loadReport(basePath)
+	if err != nil {
+		return err
+	}
+	fresh, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+	baseline := make(map[string]entry, len(base.Benchmarks))
+	for _, row := range base.Benchmarks {
+		baseline[row.Name] = row
+	}
+	matched, unmatched := 0, 0
+	var regressions []string
+	for _, row := range fresh.Benchmarks {
+		if match != "" && !strings.Contains(row.Name, match) {
+			continue
+		}
+		old, ok := baseline[row.Name]
+		if !ok || old.NsPerOp <= 0 {
+			// Surface coverage drift loudly: a renamed row that silently
+			// dropped out of the gate would otherwise look like a pass.
+			unmatched++
+			fmt.Fprintf(out, "%-72s %14s %14.0f %8s UNMATCHED (not in baseline)\n", row.Name, "-", row.NsPerOp, "-")
+			continue
+		}
+		matched++
+		ratio := row.NsPerOp / old.NsPerOp
+		verdict := "ok"
+		if ratio > tolerance {
+			verdict = "REGRESSED"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f -> %.0f ns/op (%.2fx > %.2fx)", row.Name, old.NsPerOp, row.NsPerOp, ratio, tolerance))
+		}
+		fmt.Fprintf(out, "%-72s %14.0f %14.0f %7.3fx %s\n", row.Name, old.NsPerOp, row.NsPerOp, ratio, verdict)
+	}
+	if matched == 0 {
+		return fmt.Errorf("compare: no rows of %s matched %q against %s — the gate checked nothing", newPath, match, basePath)
+	}
+	// The opposite coverage hole: baseline rows the filter means to gate
+	// that the fresh report no longer produces (a changed bench command
+	// or renamed rows). Silent shrinkage would un-gate exactly the rows
+	// the gate exists for, so it fails loudly.
+	freshNames := make(map[string]bool, len(fresh.Benchmarks))
+	for _, row := range fresh.Benchmarks {
+		freshNames[row.Name] = true
+	}
+	var missing []string
+	for _, row := range base.Benchmarks {
+		if match != "" && !strings.Contains(row.Name, match) {
+			continue
+		}
+		if row.NsPerOp > 0 && !freshNames[row.Name] {
+			missing = append(missing, row.Name)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("compare: %d baseline rows matching %q are absent from %s (gate coverage shrank):\n  %s",
+			len(missing), match, newPath, strings.Join(missing, "\n  "))
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("compare: %d of %d rows regressed beyond %.2fx:\n  %s",
+			len(regressions), matched, tolerance, strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(out, "compare: %d rows within %.2fx of %s (%d fresh rows not in baseline)\n",
+		matched, tolerance, basePath, unmatched)
+	return nil
+}
+
+func loadReport(path string) (report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return report{}, err
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
 }
 
 // parseInts parses a comma-separated list of positive ints.

@@ -7,21 +7,31 @@
 //	core    — wire-ready vocabulary: Request (k, starts, samples, seed,
 //	          alpha, sampler, prune — no sentinel values, explicit
 //	          DefaultRequest/Validate), Report, Solution.
-//	graph   — immutable CSR social graph (Eq. 1 willingness) plus the
-//	          versioned binary codec and JSON edge-list ingestion.
+//	graph   — immutable CSR social graph (Eq. 1 willingness) carrying a
+//	          fused τ_out+τ_in adjacency for the solver hot loops, the
+//	          versioned binary codec, JSON edge-list ingestion, and
+//	          graph.Region — bounded-depth BFS extraction of the
+//	          (k−1)-hop ball around a start, remapped to a dense compact
+//	          CSR (monotone id order, lossless for any growth of size ≤ k).
 //	solver  — the four paper algorithms behind a registry
 //	          (Register/New/Names) with the context-aware entry point
 //	          Solve(ctx, g, req). The driver decomposes the sample budget
 //	          into (start, sample-chunk) tasks over a worker pool with a
 //	          shared lock-free incumbent for cross-start pruning:
 //	          Report.Best is independent of the worker count, while the
-//	          Pruned counter is advisory (schedule-dependent). WithPrep
-//	          shares a precomputed NodeScore ranking across calls and
-//	          WithWorkspacePool recycles per-worker scratch buffers.
+//	          Pruned counter is advisory (schedule-dependent). Locality:
+//	          each start's tasks run on its Region when the (K−1)-hop
+//	          ball is small enough (Request.Region: auto/off/always,
+//	          results-neutral by construction). WithPrep shares a
+//	          precomputed NodeScore ranking across calls (per-call solves
+//	          build a partial top-t ranking instead of sorting the
+//	          graph), WithWorkspacePool recycles per-worker scratch
+//	          buffers, and WithRegionCache shares a bounded LRU of
+//	          extracted (start, radius) regions.
 //	service — the serving layer: concurrency-safe in-memory graph store
-//	          (load/generate/evict) holding one solver.Prep and one
-//	          workspace pool per graph, and the Solve orchestrator with
-//	          per-request deadlines.
+//	          (load/generate/evict) holding one solver.Prep, one
+//	          workspace pool and one region cache per graph, and the
+//	          Solve orchestrator with per-request deadlines.
 //	cmd     — the front ends over the same Request path: cmd/waso (batch
 //	          experiment harness), cmd/wasod (JSON HTTP server), and
 //	          cmd/wasobench (large-graph scaling benchmark harness).

@@ -49,6 +49,36 @@ func (s Sampler) Validate() error {
 		s, SamplerAuto, SamplerLinear, SamplerFenwick)
 }
 
+// RegionMode selects the solver's locality strategy: whether each start's
+// growths run on a compact (K−1)-hop search region extracted around it or
+// on the whole graph. Like Workers it is execution strategy only — a
+// region with radius K−1 contains every node and edge any growth can
+// touch, so Report.Best and SamplesDrawn are bit-identical across modes
+// and the field is not part of the request identity for caching.
+type RegionMode string
+
+const (
+	// RegionAuto extracts per-start regions when the estimated ball is
+	// small enough to win (bounded extraction, cheap skip heuristic),
+	// falling back to the whole graph otherwise. The production default.
+	RegionAuto RegionMode = "auto"
+	// RegionOff always solves on the whole graph.
+	RegionOff RegionMode = "off"
+	// RegionAlways forces region extraction regardless of estimated size —
+	// the verification mode the equivalence property tests run under.
+	RegionAlways RegionMode = "always"
+)
+
+// Validate reports whether m names a known region mode.
+func (m RegionMode) Validate() error {
+	switch m {
+	case RegionAuto, RegionOff, RegionAlways:
+		return nil
+	}
+	return fmt.Errorf("core: unknown region mode %q (want %q, %q or %q)",
+		m, RegionAuto, RegionOff, RegionAlways)
+}
+
 // Request fully specifies one solving call. There are no sentinel values:
 // Samples = 0 means "no random samples, greedy completion only", not "use a
 // default". Construct with DefaultRequest and override, or decode JSON over
@@ -61,6 +91,10 @@ type Request struct {
 	Alpha   float64 `json:"alpha"`   // CBAS-ND adapted-probability exponent: P(v) ∝ ΔW(v|S)^α
 	Sampler Sampler `json:"sampler"` // CBAS-ND weighted-sampler backend
 	Prune   bool    `json:"prune"`   // apply the §3.1 upper-bound sample pruning
+
+	// Region selects whole-graph vs per-start (K−1)-hop search regions.
+	// Execution strategy only: never affects Best or SamplesDrawn.
+	Region RegionMode `json:"region"`
 
 	// Workers bounds the solver's goroutine pool; ≤ 0 means GOMAXPROCS,
 	// and values above GOMAXPROCS are clamped to it (each worker carries
@@ -80,6 +114,7 @@ func DefaultRequest(k int) Request {
 		Alpha:   DefaultAlpha,
 		Sampler: SamplerAuto,
 		Prune:   true,
+		Region:  RegionAuto,
 	}
 }
 
@@ -97,7 +132,10 @@ func (r Request) Validate() error {
 	if math.IsNaN(r.Alpha) || math.IsInf(r.Alpha, 0) || r.Alpha < 0 {
 		return fmt.Errorf("core: Alpha must be finite and ≥ 0, got %v", r.Alpha)
 	}
-	return r.Sampler.Validate()
+	if err := r.Sampler.Validate(); err != nil {
+		return err
+	}
+	return r.Region.Validate()
 }
 
 // Report is the result of one solving call: the best group found plus the

@@ -35,6 +35,10 @@ func TestRequestValidate(t *testing.T) {
 		{"negative alpha", func(r *Request) { r.Alpha = -2 }, false},
 		{"unknown sampler", func(r *Request) { r.Sampler = "quantum" }, false},
 		{"empty sampler", func(r *Request) { r.Sampler = "" }, false},
+		{"region off", func(r *Request) { r.Region = RegionOff }, true},
+		{"region always", func(r *Request) { r.Region = RegionAlways }, true},
+		{"unknown region mode", func(r *Request) { r.Region = "sometimes" }, false},
+		{"empty region mode", func(r *Request) { r.Region = "" }, false},
 	}
 	for _, tc := range cases {
 		r := base

@@ -162,6 +162,7 @@ func (b *Builder) Build() (*Graph, error) {
 		lo, hi := off[i], off[i+1]
 		sortAdj(nbr[lo:hi], wOut[lo:hi], wIn[lo:hi])
 	}
+	g.fuse()
 	return g, nil
 }
 

@@ -122,6 +122,8 @@ func Decode(r io.Reader) (*Graph, error) {
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("graph: decoded graph invalid: %w", err)
 	}
+	// The fused weight array is derived state, not part of the wire format.
+	g.fuse()
 	return g, nil
 }
 

@@ -11,11 +11,19 @@
 // (§2.1). To make the marginal gain ΔW(v | S) computable in a single
 // O(deg v) scan, each endpoint's adjacency entry stores both the outgoing
 // weight τ_{i,j} and the incoming weight τ_{j,i}.
+//
+// The hot paths of every solver (ΔW updates, NodeScore) only ever consume
+// the sum τ_{i,j} + τ_{j,i}, so the graph additionally carries a fused
+// weight array wSum[p] = wOut[p] + wIn[p], derived once at construction:
+// reading one float64 per adjacency entry instead of two halves the
+// memory traffic of the growth inner loops. The directed arrays remain the
+// source of truth for Willingness, Tau and the codec.
 package graph
 
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -29,6 +37,16 @@ type Graph struct {
 	nbr      []NodeID  // neighbor ids, sorted per node
 	wOut     []float64 // τ_{i, nbr[p]} for p in [off[i], off[i+1])
 	wIn      []float64 // τ_{nbr[p], i}
+	wSum     []float64 // wOut[p] + wIn[p], the fused hot-path weight
+}
+
+// fuse (re)derives the fused weight array from the directed weights. Every
+// construction path (Builder.Build, codec Decode) calls it exactly once.
+func (g *Graph) fuse() {
+	g.wSum = make([]float64, len(g.nbr))
+	for p := range g.nbr {
+		g.wSum[p] = g.wOut[p] + g.wIn[p]
+	}
 }
 
 // N returns the node count.
@@ -65,6 +83,22 @@ func (g *Graph) Edges(i NodeID) (nbrs []NodeID, tauOut, tauIn []float64) {
 	return g.nbr[lo:hi], g.wOut[lo:hi], g.wIn[lo:hi]
 }
 
+// FusedEdges returns parallel slices (neighbors, τ_{i,·}+τ_{·,i}) for node
+// i — the single-array view the solver growth loops read. The slices alias
+// internal storage.
+func (g *Graph) FusedEdges(i NodeID) (nbrs []NodeID, wSum []float64) {
+	lo, hi := g.off[i], g.off[i+1]
+	return g.nbr[lo:hi], g.wSum[lo:hi]
+}
+
+// FusedCSR exposes the raw CSR arrays (offsets, neighbors, fused weights,
+// interest scores) so the solver can treat a whole graph and a Region
+// through one substrate shape. All slices alias internal storage and must
+// not be modified.
+func (g *Graph) FusedCSR() (off []int64, nbr []NodeID, wSum, interest []float64) {
+	return g.off, g.nbr, g.wSum, g.interest
+}
+
 // Tau returns (τ_{i,j}, τ_{j,i}, true) if the edge {i,j} exists.
 func (g *Graph) Tau(i, j NodeID) (out, in float64, ok bool) {
 	lo, hi := g.off[i], g.off[i+1]
@@ -88,27 +122,45 @@ func (g *Graph) HasEdge(i, j NodeID) bool {
 func (g *Graph) NodeScore(i NodeID) float64 {
 	s := g.interest[i]
 	for p := g.off[i]; p < g.off[i+1]; p++ {
-		s += g.wOut[p] + g.wIn[p]
+		s += g.wSum[p]
 	}
 	return s
 }
 
+// sortedSet returns set in ascending order, copying only when the input is
+// unsorted. Solutions arrive canonical (ascending), so the stat paths that
+// call Willingness and Connected per row normally allocate nothing here.
+func sortedSet(set []NodeID) []NodeID {
+	if slices.IsSorted(set) {
+		return set
+	}
+	sorted := append([]NodeID(nil), set...)
+	slices.Sort(sorted)
+	return sorted
+}
+
 // Willingness computes W(set) per Eq. 1. Duplicate ids in set are an error
-// in the caller; behaviour is undefined. O(Σ_{v∈set} deg v).
+// in the caller; behaviour is undefined. Membership tests are a merge scan
+// of the (sorted) set against each sorted adjacency list — O(Σ_{v∈set}
+// (deg v + |set|)) with no per-call map.
 func (g *Graph) Willingness(set []NodeID) float64 {
 	if len(set) == 0 {
 		return 0
 	}
-	in := make(map[NodeID]struct{}, len(set))
-	for _, v := range set {
-		in[v] = struct{}{}
-	}
+	sorted := sortedSet(set)
 	w := 0.0
-	for _, v := range set {
+	for _, v := range sorted {
 		w += g.interest[v]
 		nbrs, tauOut, _ := g.Edges(v)
+		i := 0
 		for p, u := range nbrs {
-			if _, ok := in[u]; ok {
+			for i < len(sorted) && sorted[i] < u {
+				i++
+			}
+			if i == len(sorted) {
+				break
+			}
+			if sorted[i] == u {
 				w += tauOut[p]
 			}
 		}
@@ -121,42 +173,48 @@ func (g *Graph) Willingness(set []NodeID) float64 {
 // O(deg v).
 func (g *Graph) WillingnessDelta(v NodeID, inSet func(NodeID) bool) float64 {
 	d := g.interest[v]
-	nbrs, tauOut, tauIn := g.Edges(v)
+	nbrs, wSum := g.FusedEdges(v)
 	for p, u := range nbrs {
 		if inSet(u) {
-			d += tauOut[p] + tauIn[p]
+			d += wSum[p]
 		}
 	}
 	return d
 }
 
 // Connected reports whether the subgraph induced by set is connected.
-// The empty set is connected by convention.
+// The empty set is connected by convention. Membership is resolved by
+// merge-scanning the (sorted) set against each adjacency list, so the only
+// allocations are the O(|set|) visit bookkeeping — no per-call maps.
 func (g *Graph) Connected(set []NodeID) bool {
 	if len(set) <= 1 {
 		return true
 	}
-	in := make(map[NodeID]struct{}, len(set))
-	for _, v := range set {
-		in[v] = struct{}{}
-	}
-	seen := map[NodeID]struct{}{set[0]: {}}
-	queue := []NodeID{set[0]}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for _, u := range g.Neighbors(v) {
-			if _, member := in[u]; !member {
-				continue
+	sorted := sortedSet(set)
+	visited := make([]bool, len(sorted))
+	stack := make([]int, 1, len(sorted)) // indices into sorted
+	visited[0] = true
+	count := 1
+	for len(stack) > 0 {
+		vi := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nbrs := g.Neighbors(sorted[vi])
+		i := 0
+		for _, u := range nbrs {
+			for i < len(sorted) && sorted[i] < u {
+				i++
 			}
-			if _, vis := seen[u]; vis {
-				continue
+			if i == len(sorted) {
+				break
 			}
-			seen[u] = struct{}{}
-			queue = append(queue, u)
+			if sorted[i] == u && !visited[i] {
+				visited[i] = true
+				count++
+				stack = append(stack, i)
+			}
 		}
 	}
-	return len(seen) == len(set)
+	return count == len(sorted)
 }
 
 // ComponentOf returns the ids of the connected component containing v, in

@@ -98,6 +98,40 @@ func TestConnected(t *testing.T) {
 	}
 }
 
+// TestUnsortedSets: Willingness and Connected accept sets in any order —
+// the sorted-membership scan must sort its own copy when needed.
+func TestUnsortedSets(t *testing.T) {
+	g := buildRef(t)
+	for _, set := range [][]NodeID{{2, 0, 1}, {1, 0}, {4, 3}, {2, 1, 0}} {
+		input := append([]NodeID(nil), set...)
+		sorted := append([]NodeID(nil), set...)
+		for i := range sorted { // insertion sort; tiny fixed sets
+			for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		if got, want := g.Willingness(input), g.Willingness(sorted); !almost(got, want) {
+			t.Errorf("Willingness(%v) = %v, want %v (sorted order)", set, got, want)
+		}
+		if got, want := g.Connected(input), g.Connected(sorted); got != want {
+			t.Errorf("Connected(%v) = %v, want %v (sorted order)", set, got, want)
+		}
+		// The caller's slice must come back untouched: the scan sorts a
+		// copy, never the input.
+		for i := range input {
+			if input[i] != set[i] {
+				t.Fatalf("input slice reordered: %v -> %v", set, input)
+			}
+		}
+	}
+	if g.Connected([]NodeID{4, 0}) {
+		t.Error("Connected({4,0}) across components")
+	}
+	if got := g.Willingness([]NodeID{2, 1, 0}); !almost(got, 6+0.75+3+0.3) {
+		t.Errorf("Willingness({2,1,0}) = %v", got)
+	}
+}
+
 func TestSubgraph(t *testing.T) {
 	g := buildRef(t)
 	sub, mapping := g.Subgraph([]NodeID{4, 0, 2, 0}) // duplicates collapse

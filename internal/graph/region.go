@@ -1,0 +1,180 @@
+package graph
+
+import "slices"
+
+// A Region is the compact search instance for one start node: the induced
+// subgraph of the ≤radius-hop ball around the start, remapped to dense
+// local ids in a small contiguous CSR that fits in cache.
+//
+// Why this is lossless for WASO: a connected group of size ≤ k containing
+// the start can only contain nodes within (k−1) hops of it (§3.1 of Shuai
+// et al., PVLDB 2013 — every member is reachable from the start inside the
+// group). More precisely, every solver growth in this repo draws its next
+// node from a frontier built while |S| = j < k, and every frontier node at
+// that moment is within j ≤ k−1 hops of the start. A Region extracted with
+// radius = k−1 therefore contains every node any growth can ever draw or
+// add, and every edge between such nodes — growths on the Region are
+// bit-identical to growths on the whole graph.
+//
+// The local id order is the ascending global id order (a monotone remap),
+// so sorted adjacency, greedy (ΔW, id) tie-breaks, frontier append order
+// and canonical solution order all translate 1:1 between the two id
+// spaces. The adjacency carries only the fused weight τ_out+τ_in — the
+// one number the growth loops consume.
+type Region struct {
+	start      NodeID // global id of the start node
+	localStart NodeID // its dense local id
+	radius     int
+
+	toGlobal []NodeID // local id -> global id, strictly ascending
+	off      []int64  // local CSR offsets, len N()+1
+	nbr      []NodeID // local neighbor ids, sorted per node
+	wSum     []float64
+	eta      []float64
+}
+
+// N returns the number of nodes in the region.
+func (r *Region) N() int { return len(r.eta) }
+
+// M returns the number of undirected edges inside the region.
+func (r *Region) M() int { return len(r.nbr) / 2 }
+
+// Start returns the global id of the start node the region was built for.
+func (r *Region) Start() NodeID { return r.start }
+
+// LocalStart returns the start node's dense local id.
+func (r *Region) LocalStart() NodeID { return r.localStart }
+
+// Radius returns the hop bound the region was extracted with.
+func (r *Region) Radius() int { return r.radius }
+
+// GlobalIDs returns the local→global id mapping in local id order (which
+// is also ascending global id order). The slice aliases internal storage.
+func (r *Region) GlobalIDs() []NodeID { return r.toGlobal }
+
+// CSR exposes the region's raw arrays in the same substrate shape as
+// Graph.FusedCSR. All slices alias internal storage.
+func (r *Region) CSR() (off []int64, nbr []NodeID, wSum, interest []float64) {
+	return r.off, r.nbr, r.wSum, r.eta
+}
+
+// RegionBuilder extracts Regions from one graph, reusing its O(N) scratch
+// (the global→local id map) across extractions so each Extract costs only
+// O(ball) beyond the first call. Not safe for concurrent use.
+type RegionBuilder struct {
+	g       *Graph
+	localOf []int32 // global id -> local id; -1 when outside the current ball
+	queue   []NodeID
+}
+
+// NewRegionBuilder returns a builder for g.
+func NewRegionBuilder(g *Graph) *RegionBuilder {
+	localOf := make([]int32, g.N())
+	for i := range localOf {
+		localOf[i] = -1
+	}
+	return &RegionBuilder{g: g, localOf: localOf}
+}
+
+// Extract builds the Region of the ≤radius-hop ball around start. It
+// returns nil when the ball would exceed maxNodes — the caller's signal to
+// fall back to whole-graph solving for this start. start must be a valid
+// node of the builder's graph.
+func (rb *RegionBuilder) Extract(start NodeID, radius, maxNodes int) *Region {
+	g := rb.g
+	if maxNodes < 1 {
+		return nil
+	}
+	// Level-by-level BFS; nodes at depth == radius are leaves.
+	q := rb.queue[:0]
+	q = append(q, start)
+	rb.localOf[start] = 0 // visited marker; real local ids assigned below
+	levelEnd, depth := 1, 0
+	overflow := false
+bfs:
+	for head := 0; head < len(q); head++ {
+		if head == levelEnd {
+			depth++
+			levelEnd = len(q)
+		}
+		if depth >= radius {
+			break
+		}
+		for _, u := range g.Neighbors(q[head]) {
+			if rb.localOf[u] != -1 {
+				continue
+			}
+			if len(q) >= maxNodes {
+				overflow = true
+				break bfs
+			}
+			rb.localOf[u] = 0
+			q = append(q, u)
+		}
+	}
+	rb.queue = q // keep the grown capacity for the next extraction
+	if overflow {
+		for _, v := range q {
+			rb.localOf[v] = -1
+		}
+		return nil
+	}
+
+	// Monotone remap: local ids in ascending global id order.
+	ball := make([]NodeID, len(q))
+	copy(ball, q)
+	slices.Sort(ball)
+	for i, v := range ball {
+		rb.localOf[v] = int32(i)
+	}
+
+	off := make([]int64, len(ball)+1)
+	for i, v := range ball {
+		kept := 0
+		for _, u := range g.Neighbors(v) {
+			if rb.localOf[u] >= 0 {
+				kept++
+			}
+		}
+		off[i+1] = off[i] + int64(kept)
+	}
+	nnz := off[len(ball)]
+	nbr := make([]NodeID, nnz)
+	wSum := make([]float64, nnz)
+	eta := make([]float64, len(ball))
+	for i, v := range ball {
+		eta[i] = g.interest[v]
+		p := off[i]
+		gn, gw := g.FusedEdges(v)
+		for gp, u := range gn {
+			lu := rb.localOf[u]
+			if lu < 0 {
+				continue
+			}
+			nbr[p] = NodeID(lu)
+			wSum[p] = gw[gp]
+			p++
+		}
+	}
+	r := &Region{
+		start:      start,
+		localStart: NodeID(rb.localOf[start]),
+		radius:     radius,
+		toGlobal:   ball,
+		off:        off,
+		nbr:        nbr,
+		wSum:       wSum,
+		eta:        eta,
+	}
+	for _, v := range ball {
+		rb.localOf[v] = -1
+	}
+	return r
+}
+
+// ExtractRegion is the one-shot convenience over NewRegionBuilder+Extract.
+// Callers extracting many regions from one graph should hold a
+// RegionBuilder (or a solver.RegionCache) instead.
+func (g *Graph) ExtractRegion(start NodeID, radius, maxNodes int) *Region {
+	return NewRegionBuilder(g).Extract(start, radius, maxNodes)
+}

@@ -1,10 +1,12 @@
 // Package service is the serving layer between the solver library and the
 // network: a concurrency-safe in-memory store of long-lived social graphs
 // plus a request orchestrator. Each stored graph carries its precomputed
-// NodeScore ranking (solver.Prep), built once at load time and shared by
-// every request against that graph — the amortization that makes many
-// concurrent (k, budget) queries against one graph cheap, per the
-// scale-adaptive serving model of Shuai et al.
+// NodeScore ranking (solver.Prep), a recycled workspace pool, and a
+// bounded LRU of extracted (start, radius) search regions
+// (solver.RegionCache) — all built or filled once and shared by every
+// request against that graph, the amortization that makes many concurrent
+// (k, budget) queries against one graph cheap, per the scale-adaptive
+// serving model of Shuai et al.
 //
 // Layering: core (DTOs) → graph → solver → service → cmd/wasod. The service
 // owns graph lifetime (load/generate/evict) and per-request deadlines; it
@@ -52,6 +54,11 @@ type Config struct {
 	// count of any resident graph; 0 means unlimited. Bounds dense specs
 	// whose node count alone looks harmless.
 	MaxEdges int
+	// MaxRegions caps each resident graph's (start, radius) search-region
+	// cache. 0 means solver.DefaultRegionCacheEntries; a negative value
+	// disables region caching (solves still extract regions per call when
+	// the request's region mode asks for them).
+	MaxRegions int
 }
 
 // GraphInfo is the wire-ready description of one resident graph.
@@ -64,14 +71,17 @@ type GraphInfo struct {
 	CreatedAt time.Time `json:"created_at"`
 }
 
-// entry pairs a graph with its shared precomputation and its workspace
-// pool — the recycled per-worker scratch buffers that keep a busy serving
-// path from allocating O(n) state on every request.
+// entry pairs a graph with its shared precomputation, its workspace pool —
+// the recycled per-worker scratch buffers that keep a busy serving path
+// from allocating O(n) state on every request — and its search-region
+// cache, so many requests against one graph share the same extracted
+// (start, radius) locality instances regardless of their budgets or α.
 type entry struct {
-	g    *graph.Graph
-	prep *solver.Prep
-	pool *solver.WorkspacePool
-	info GraphInfo
+	g       *graph.Graph
+	prep    *solver.Prep
+	pool    *solver.WorkspacePool
+	regions *solver.RegionCache // nil when Config.MaxRegions < 0
+	info    GraphInfo
 }
 
 // Service is the in-memory graph store and solve orchestrator. All methods
@@ -111,7 +121,8 @@ func (s *Service) Load(id string, g *graph.Graph, source string) (GraphInfo, err
 		return GraphInfo{}, err
 	}
 	// The ranking pass is O(n log n + m); do it outside the lock so a large
-	// upload never stalls concurrent solves.
+	// upload never stalls concurrent solves. The region cache starts empty
+	// and fills on demand as requests touch (start, radius) keys.
 	e := &entry{
 		g:    g,
 		prep: solver.NewPrep(g),
@@ -124,6 +135,9 @@ func (s *Service) Load(id string, g *graph.Graph, source string) (GraphInfo, err
 			Source:    source,
 			CreatedAt: time.Now().UTC(),
 		},
+	}
+	if s.cfg.MaxRegions >= 0 {
+		e.regions = solver.NewRegionCache(g, s.cfg.MaxRegions)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -233,10 +247,10 @@ func (s *Service) Evict(id string) error {
 }
 
 // Solve runs the named algorithm against the stored graph, sharing the
-// graph's precomputed ranking and recycled workspace pool, and applying the
-// configured default timeout when ctx carries no deadline. Cancellation and
-// deadline errors pass through as ctx.Err() values (context.Canceled,
-// context.DeadlineExceeded).
+// graph's precomputed ranking, recycled workspace pool and search-region
+// cache, and applying the configured default timeout when ctx carries no
+// deadline. Cancellation and deadline errors pass through as ctx.Err()
+// values (context.Canceled, context.DeadlineExceeded).
 func (s *Service) Solve(ctx context.Context, graphID, algo string, req core.Request) (core.Report, error) {
 	s.mu.RLock()
 	e := s.graphs[graphID]
@@ -251,6 +265,14 @@ func (s *Service) Solve(ctx context.Context, graphID, algo string, req core.Requ
 	if err := req.Validate(); err != nil {
 		return core.Report{}, fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
+	// RegionAlways is a verification mode for direct library use: it
+	// bypasses the extraction caps, so a wire client could make every
+	// request duplicate O(starts × component) memory. The serving path
+	// downgrades it to the capped auto policy — results are identical in
+	// every mode, so this only bounds work, never changes answers.
+	if req.Region == core.RegionAlways {
+		req.Region = core.RegionAuto
+	}
 	if s.cfg.DefaultTimeout > 0 {
 		if _, hasDeadline := ctx.Deadline(); !hasDeadline {
 			var cancel context.CancelFunc
@@ -260,5 +282,8 @@ func (s *Service) Solve(ctx context.Context, graphID, algo string, req core.Requ
 	}
 	ctx = solver.WithPrep(ctx, e.prep)
 	ctx = solver.WithWorkspacePool(ctx, e.pool)
+	if e.regions != nil {
+		ctx = solver.WithRegionCache(ctx, e.regions)
+	}
 	return sv.Solve(ctx, e.g, req)
 }

@@ -203,6 +203,50 @@ func TestPooledWorkspacesAcrossRequests(t *testing.T) {
 	}
 }
 
+// TestRegionCachedSolves: requests whose region mode engages the per-graph
+// cache reproduce direct-solver results across repeated, retuned solves,
+// and disabling the cache (MaxRegions < 0) changes nothing but the
+// amortization.
+func TestRegionCachedSolves(t *testing.T) {
+	ctx := context.Background()
+	spec := gen.Spec{Kind: "er", N: 500, AvgDeg: 2, Seed: 3} // sparse: auto mode extracts real regions
+	for _, cfg := range []Config{{}, {MaxRegions: 2}, {MaxRegions: -1}} {
+		s := New(cfg)
+		if _, err := s.Generate("g", spec); err != nil {
+			t.Fatal(err)
+		}
+		g, _, err := s.Get("g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 2; round++ {
+			for _, k := range []int{3, 5} {
+				r := core.DefaultRequest(k)
+				r.Samples = 15
+				r.Seed = uint64(k)
+				if round == 1 {
+					// The serving path downgrades the uncapped verification
+					// mode to auto; results are identical in every mode, so
+					// this only exercises the policy path.
+					r.Region = core.RegionAlways
+				}
+				got, err := s.Solve(ctx, "g", "cbasnd", r)
+				if err != nil {
+					t.Fatalf("MaxRegions=%d round %d k=%d: %v", cfg.MaxRegions, round, k, err)
+				}
+				want, err := (solver.CBASND{}).Solve(ctx, g, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Best.Equal(want.Best) || got.Best.Willingness != want.Best.Willingness {
+					t.Errorf("MaxRegions=%d round %d k=%d: service %v != direct %v",
+						cfg.MaxRegions, round, k, got.Best, want.Best)
+				}
+			}
+		}
+	}
+}
+
 func TestSolveErrors(t *testing.T) {
 	ctx := context.Background()
 	s := New(Config{})

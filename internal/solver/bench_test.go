@@ -94,8 +94,8 @@ func BenchmarkLargeGraph(b *testing.B) {
 			})
 		}
 	}
-	// Unprepped: each Solve pays the O(n log n) NodeScore ranking, the
-	// cost WithPrep amortizes away for resident graphs.
+	// Unprepped: each Solve pays the per-call partial NodeScore ranking,
+	// the cost WithPrep amortizes away for resident graphs.
 	b.Run(fmt.Sprintf("n=%d/cbasnd/workers=1/unprepped", n), func(b *testing.B) {
 		r := base
 		r.Workers = 1
@@ -106,13 +106,37 @@ func BenchmarkLargeGraph(b *testing.B) {
 			}
 		}
 	})
+
+	// Region showcase: a sparse instance at small k, where the (k−1)-hop
+	// balls are a few hundred nodes — the serving shape region mode exists
+	// for. auto runs against a warm per-graph RegionCache (the wasod
+	// path); off walks the whole 100k-node CSR per sample.
+	er, err := gen.Spec{Kind: "er", N: n, AvgDeg: 8, Seed: 1}.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	erCtx := WithRegionCache(WithPrep(context.Background(), NewPrep(er)), NewRegionCache(er, 0))
+	for _, mode := range []core.RegionMode{core.RegionAuto, core.RegionOff} {
+		b.Run(fmt.Sprintf("n=%d/gen=er/k=4/cbasnd/workers=1/regions=%s", n, mode), func(b *testing.B) {
+			r := core.DefaultRequest(4)
+			r.Samples = 50
+			r.Workers = 1
+			r.Region = mode
+			for i := 0; i < b.N; i++ {
+				r.Seed = uint64(i)
+				if _, err := (CBASND{}).Solve(erCtx, er, r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkGrowth isolates one sample growth (the inner loop of every
 // randomized solver) without the multi-start scaffolding.
 func BenchmarkGrowth(b *testing.B) {
 	g := benchGraph(b, 1000)
-	start := PickStarts(g, 1)[0]
+	start := PickStarts(context.Background(), g, 1)[0]
 	prep := NewPrep(g)
 	for _, mode := range []string{"uniform", "weighted-linear", "weighted-fenwick", "greedy"} {
 		b.Run(mode, func(b *testing.B) {
@@ -122,8 +146,9 @@ func BenchmarkGrowth(b *testing.B) {
 			} else {
 				r.Sampler = core.SamplerLinear
 			}
-			ws := newWorkspace(g)
-			ws.configure(r, prep.topSums(10))
+			ws := newWorkspace(g.N())
+			ws.configure(r, prep.topSums(10), r.Sampler == core.SamplerFenwick)
+			ws.bindGraph(graphSubstrate(g))
 			root := rng.New(7)
 			for i := 0; i < b.N; i++ {
 				stream := root.SplitN(0, uint64(i))

@@ -22,10 +22,12 @@ type WorkspacePool struct {
 	pool sync.Pool
 }
 
-// NewWorkspacePool returns an empty pool of workspaces for g.
+// NewWorkspacePool returns an empty pool of workspaces for g. Pooled
+// workspaces are allocated at full graph capacity so they can serve both
+// whole-graph tasks and any region task (regions never exceed the graph).
 func NewWorkspacePool(g *graph.Graph) *WorkspacePool {
 	wp := &WorkspacePool{g: g}
-	wp.pool.New = func() any { return newWorkspace(g) }
+	wp.pool.New = func() any { return newWorkspace(g.N()) }
 	return wp
 }
 
@@ -33,16 +35,25 @@ func NewWorkspacePool(g *graph.Graph) *WorkspacePool {
 func (wp *WorkspacePool) Graph() *graph.Graph { return wp.g }
 
 // get returns a workspace configured for req. The caller must put it back.
-func (wp *WorkspacePool) get(req core.Request, topSum []float64) *workspace {
+func (wp *WorkspacePool) get(req core.Request, topSum []float64, useFen bool) *workspace {
 	ws := wp.pool.Get().(*workspace)
-	ws.configure(req, topSum)
+	ws.configure(req, topSum, useFen)
 	return ws
 }
 
 // put returns a workspace to the pool. The workspace's sparse state (set,
 // touched, slot lists) stays as the last growth left it — the next growth's
-// reset clears it in O(touched), exactly as between samples.
-func (wp *WorkspacePool) put(ws *workspace) { wp.pool.Put(ws) }
+// reset clears it in O(touched), exactly as between samples. The substrate
+// binding and per-solve shared state are dropped so a pooled workspace
+// never pins a Region (or an incumbent) past its request — the next task
+// rebinds before growing.
+func (wp *WorkspacePool) put(ws *workspace) {
+	ws.sub = substrate{}
+	ws.toGlobal = nil
+	ws.inc = nil
+	ws.topSum = nil
+	wp.pool.Put(ws)
+}
 
 // poolCtxKey carries a *WorkspacePool through a context.
 type poolCtxKey struct{}

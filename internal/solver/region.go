@@ -1,0 +1,303 @@
+package solver
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"waso/internal/core"
+	"waso/internal/graph"
+)
+
+// Region policy: every growth from a start is confined to the (K−1)-hop
+// ball around it (see graph.Region), so the driver can hand each start a
+// compact remapped CSR instead of the whole graph. Extraction is bounded —
+// a ball bigger than regionNodeCap falls back to whole-graph solving for
+// that start — and skipped outright when a cheap branching estimate says
+// the ball would blow the cap anyway, so dense high-k requests pay nothing
+// for the feature. Results are bit-identical in every mode; only memory
+// traffic changes.
+
+// DefaultRegionCacheEntries bounds a RegionCache when the caller passes no
+// explicit capacity.
+const DefaultRegionCacheEntries = 256
+
+// Auto-mode regions are capped at min(n/regionNodeCapFrac,
+// regionNodeCapMax) nodes: big enough that real locality wins fit, small
+// enough that a capped extraction attempt stays cheap relative to a
+// solve.
+const (
+	regionNodeCapMax  = 1 << 15
+	regionNodeCapFrac = 4
+)
+
+// autoRegionCap returns the auto-mode node cap for a graph of n nodes.
+func autoRegionCap(n int) int {
+	c := n / regionNodeCapFrac
+	if c > regionNodeCapMax {
+		c = regionNodeCapMax
+	}
+	return c
+}
+
+// ballFits is the shared branching estimate behind both worthwhile
+// checks: a ball that starts at firstHop expected nodes and branches by
+// the graph's average degree for the remaining radius−1 hops plausibly
+// fits cap (×4 headroom — a wrong "yes" costs one capped BFS, a wrong
+// "no" only a missed optimization).
+func ballFits(g *graph.Graph, firstHop float64, radius, cap int) bool {
+	d := g.AvgDegree()
+	if d < 1 {
+		d = 1
+	}
+	est := firstHop
+	for i := 1; i < radius; i++ {
+		est *= d
+		if est > 4*float64(cap) {
+			return false
+		}
+	}
+	return est <= 4*float64(cap)
+}
+
+// regionWorthwhile is the graph-level gate: expected branching is the
+// average degree every hop, so the ball grows like avgDeg^radius.
+func regionWorthwhile(g *graph.Graph, radius, cap int) bool {
+	if cap < 2 {
+		return false
+	}
+	if radius <= 0 {
+		return true
+	}
+	return ballFits(g, g.AvgDegree(), radius, cap)
+}
+
+// startWorthwhile refines the estimate for one start: the first hop
+// branches by the start's own degree — and CBAS starts are the top
+// NodeScore nodes, i.e. hubs, whose balls on heavy-tailed graphs dwarf
+// the average-degree estimate. Skipping those up front is what keeps auto
+// mode from paying a doomed capped BFS per hub start on graphs whose mean
+// degree looks regional.
+func startWorthwhile(g *graph.Graph, start graph.NodeID, radius, cap int) bool {
+	if radius <= 0 {
+		return true
+	}
+	return ballFits(g, float64(g.Degree(start))+1, radius, cap)
+}
+
+// planRegions decides the locality layout of one solve: one region per
+// start (nil entries fall back to the whole graph), plus the workspace
+// capacity fresh workers should allocate. A context-attached RegionCache
+// (the serving path) answers repeat (start, radius) keys without
+// re-extracting; otherwise a single RegionBuilder amortizes its scratch
+// across the starts of this call.
+func planRegions(ctx context.Context, g *graph.Graph, starts []graph.NodeID, req core.Request) ([]*graph.Region, int) {
+	if req.Region == core.RegionOff || len(starts) == 0 {
+		return nil, g.N()
+	}
+	radius := req.K - 1
+	always := req.Region == core.RegionAlways
+	cap := autoRegionCap(g.N())
+	if !always && !regionWorthwhile(g, radius, cap) {
+		return nil, g.N()
+	}
+	rc := regionCacheFor(ctx, g)
+	var rb *graph.RegionBuilder
+	extract := func(start graph.NodeID, cap int) *graph.Region {
+		if rb == nil {
+			rb = graph.NewRegionBuilder(g)
+		}
+		return rb.Extract(start, radius, cap)
+	}
+	regions := make([]*graph.Region, len(starts))
+	maxN, all := 0, true
+	for si, s := range starts {
+		var r *graph.Region
+		switch {
+		case !always && !startWorthwhile(g, s, radius, cap):
+			// Hub start on a regional-looking graph: the ball cannot fit,
+			// don't pay the capped BFS to find that out.
+		case rc != nil:
+			r = rc.Acquire(s, radius)
+		case always:
+			r = extract(s, g.N())
+		default:
+			r = extract(s, cap)
+		}
+		if r == nil && always {
+			// The cache applies the auto cap; the verification mode wants
+			// the region regardless, so extract it locally without one.
+			r = extract(s, g.N())
+		}
+		regions[si] = r
+		if r == nil {
+			all = false
+		} else if r.N() > maxN {
+			maxN = r.N()
+		}
+	}
+	if maxN == 0 {
+		return nil, g.N()
+	}
+	if !all {
+		return regions, g.N()
+	}
+	return regions, maxN
+}
+
+// regionKey identifies one cached region: radius is K−1, so requests with
+// different budgets, α, sampler or seed against the same (start, K) share
+// one entry — the common serving pattern of many queries per graph.
+type regionKey struct {
+	start  graph.NodeID
+	radius int
+}
+
+// regionEntry is one cache slot. r == nil is a cached negative: the ball
+// exceeded the cap, so this (start, radius) permanently falls back to
+// whole-graph solving — remembering that is what keeps repeated dense
+// requests from re-running the capped BFS.
+type regionEntry struct {
+	key regionKey
+	r   *graph.Region
+}
+
+// DefaultRegionCacheBytes bounds the approximate memory a RegionCache may
+// hold in extracted regions, independently of the entry cap: region sizes
+// are request-dependent, so an entry count alone could pin hundreds of MB
+// per graph past the service's admission caps. 128 MB holds ~30 cap-sized
+// regions of a 1M-node graph — far more than one start set needs.
+const DefaultRegionCacheBytes = 128 << 20
+
+// RegionCache is a bounded LRU of extracted search regions for one graph,
+// keyed by (start, radius) and limited both by entry count and by
+// approximate resident bytes. A serving layer keeps one per resident
+// graph (alongside its Prep and WorkspacePool) and attaches it to request
+// contexts with WithRegionCache; concurrent Solves share entries. Safe
+// for concurrent use: lookups only touch the index mutex, while misses
+// serialize among themselves on a separate extraction mutex — a slow
+// first-touch BFS never blocks concurrent hits.
+type RegionCache struct {
+	g        *graph.Graph
+	max      int
+	maxBytes int64
+
+	mu     sync.Mutex // guards the index; never held during extraction
+	lru    *list.List // front = most recently used, of *regionEntry
+	byKey  map[regionKey]*list.Element
+	bytes  int64
+	hits   uint64
+	misses uint64
+
+	extractMu sync.Mutex // serializes misses over the shared builder scratch
+	rb        *graph.RegionBuilder
+}
+
+// NewRegionCache returns an empty cache holding at most maxEntries regions
+// for g (DefaultRegionCacheEntries when maxEntries ≤ 0), and at most
+// DefaultRegionCacheBytes of extracted region data.
+func NewRegionCache(g *graph.Graph, maxEntries int) *RegionCache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultRegionCacheEntries
+	}
+	return &RegionCache{
+		g:        g,
+		max:      maxEntries,
+		maxBytes: DefaultRegionCacheBytes,
+		lru:      list.New(),
+		byKey:    make(map[regionKey]*list.Element),
+	}
+}
+
+// Graph returns the graph this cache extracts regions from.
+func (rc *RegionCache) Graph() *graph.Graph { return rc.g }
+
+// regionBytes approximates the resident size of one cache entry: ids,
+// offsets, scores and the fused adjacency, plus fixed bookkeeping. nil
+// (negative) entries carry bookkeeping only.
+func regionBytes(r *graph.Region) int64 {
+	const overhead = 128
+	if r == nil {
+		return overhead
+	}
+	return overhead + int64(r.N())*20 + int64(2*r.M())*12
+}
+
+// Acquire returns the region for (start, radius), extracting and caching
+// it on first use. nil means the ball exceeds the auto cap and the caller
+// should solve this start on the whole graph; the negative result is
+// cached too.
+func (rc *RegionCache) Acquire(start graph.NodeID, radius int) *graph.Region {
+	key := regionKey{start: start, radius: radius}
+	rc.mu.Lock()
+	if el, ok := rc.byKey[key]; ok {
+		rc.hits++
+		rc.lru.MoveToFront(el)
+		r := el.Value.(*regionEntry).r
+		rc.mu.Unlock()
+		return r
+	}
+	rc.misses++
+	rc.mu.Unlock()
+
+	// Extract outside the index lock so in-flight hits never wait on a
+	// BFS. Misses serialize here (they share the builder's O(n) scratch);
+	// a concurrent miss for the same key may have filled it while we
+	// queued, so re-check before doing the work. The insert happens
+	// before extractMu is released — otherwise two same-key misses could
+	// interleave their inserts and orphan an LRU element whose eventual
+	// eviction would delete the live entry's index mapping.
+	rc.extractMu.Lock()
+	defer rc.extractMu.Unlock()
+	rc.mu.Lock()
+	if el, ok := rc.byKey[key]; ok {
+		rc.lru.MoveToFront(el)
+		r := el.Value.(*regionEntry).r
+		rc.mu.Unlock()
+		return r
+	}
+	rc.mu.Unlock()
+	if rc.rb == nil {
+		rc.rb = graph.NewRegionBuilder(rc.g)
+	}
+	r := rc.rb.Extract(start, radius, autoRegionCap(rc.g.N()))
+
+	rc.mu.Lock()
+	rc.byKey[key] = rc.lru.PushFront(&regionEntry{key: key, r: r})
+	rc.bytes += regionBytes(r)
+	for rc.lru.Len() > 1 && (rc.lru.Len() > rc.max || rc.bytes > rc.maxBytes) {
+		back := rc.lru.Back()
+		rc.lru.Remove(back)
+		e := back.Value.(*regionEntry)
+		delete(rc.byKey, e.key)
+		rc.bytes -= regionBytes(e.r)
+	}
+	rc.mu.Unlock()
+	return r
+}
+
+// Stats reports cache effectiveness: hits, misses, and resident entries.
+func (rc *RegionCache) Stats() (hits, misses uint64, entries int) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.hits, rc.misses, rc.lru.Len()
+}
+
+// regionCacheCtxKey carries a *RegionCache through a context.
+type regionCacheCtxKey struct{}
+
+// WithRegionCache returns a context carrying rc. A Solve whose context
+// carries a cache for the same graph fetches per-start regions from it
+// instead of extracting fresh ones — the mechanism the service layer uses
+// to amortize extraction across requests.
+func WithRegionCache(ctx context.Context, rc *RegionCache) context.Context {
+	return context.WithValue(ctx, regionCacheCtxKey{}, rc)
+}
+
+// regionCacheFor returns the context's cache when it matches g, else nil.
+func regionCacheFor(ctx context.Context, g *graph.Graph) *RegionCache {
+	if rc, ok := ctx.Value(regionCacheCtxKey{}).(*RegionCache); ok && rc != nil && rc.g == g {
+		return rc
+	}
+	return nil
+}

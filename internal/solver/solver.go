@@ -136,15 +136,23 @@ func All() []Solver {
 // ---------------------------------------------------------------------------
 // Precomputation
 
-// Prep is the graph-dependent precomputation every Solve performs: the
-// full descending NodeScore ranking (CBAS phase 1) and its score sequence.
-// It is immutable after NewPrep and safe to share across concurrent Solve
-// calls, so a serving layer computes it once per graph and attaches it to
-// request contexts with WithPrep.
+// Prep is the graph-dependent precomputation every Solve needs: the
+// descending NodeScore ranking (CBAS phase 1) and its score prefix sums.
+// It is immutable after construction and safe to share across concurrent
+// Solve calls, so a serving layer computes it once per graph and attaches
+// it to request contexts with WithPrep.
+//
+// NewPrep ranks every node (O(n log n)) — the resident, serve-any-request
+// form. A Solve whose context carries no Prep no longer pays that sort:
+// it builds a partial Prep covering only the top max(K, Starts) nodes by
+// heap selection in O(n + m + n log t), which is what makes one-shot
+// solves on million-node graphs cheap (the full sort dominated the old
+// unprepped profile).
 type Prep struct {
 	g      *graph.Graph
 	ranked []graph.NodeID // node ids by NodeScore descending, id ascending
 	prefix []float64      // prefix[r] = sum of the r largest NodeScores
+	limit  int            // 0 = full ranking; else only the top limit nodes are valid
 }
 
 // NewPrep ranks every node of g by NodeScore. O(n log n + m). The per-node
@@ -175,12 +183,93 @@ func NewPrep(g *graph.Graph) *Prep {
 	return p
 }
 
+// newPartialPrep ranks only the top t nodes by (NodeScore descending, id
+// ascending): a single O(n + m) scoring pass feeding a size-t min-heap,
+// then one small sort — no n-sized scratch, no full sort. The result is
+// bit-identical to NewPrep's first t ranked entries and prefix sums, and
+// is only valid for requests with max(K, Starts) ≤ t (enforced by the
+// topSums/Starts guards); it is never shared through WithPrep.
+func newPartialPrep(g *graph.Graph, t int) *Prep {
+	n := g.N()
+	if t > n {
+		t = n
+	}
+	type cand struct {
+		score float64
+		id    graph.NodeID
+	}
+	// ranksBelow: a ranks strictly below b in the (score desc, id asc)
+	// order. The heap keeps the t best with the worst at the root.
+	ranksBelow := func(a, b cand) bool {
+		if a.score != b.score {
+			return a.score < b.score
+		}
+		return a.id > b.id
+	}
+	h := make([]cand, 0, t)
+	siftDown := func() {
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			next := i
+			if l < len(h) && ranksBelow(h[l], h[next]) {
+				next = l
+			}
+			if r < len(h) && ranksBelow(h[r], h[next]) {
+				next = r
+			}
+			if next == i {
+				return
+			}
+			h[i], h[next] = h[next], h[i]
+			i = next
+		}
+	}
+	for i := 0; i < n && t > 0; i++ {
+		c := cand{score: g.NodeScore(graph.NodeID(i)), id: graph.NodeID(i)}
+		if len(h) < t {
+			h = append(h, c)
+			for j := len(h) - 1; j > 0; {
+				parent := (j - 1) / 2
+				if !ranksBelow(h[j], h[parent]) {
+					break
+				}
+				h[j], h[parent] = h[parent], h[j]
+				j = parent
+			}
+			continue
+		}
+		if ranksBelow(h[0], c) {
+			h[0] = c
+			siftDown()
+		}
+	}
+	slices.SortFunc(h, func(a, b cand) int {
+		if ranksBelow(b, a) {
+			return -1
+		}
+		return 1
+	})
+	p := &Prep{g: g, limit: t, ranked: make([]graph.NodeID, len(h)), prefix: make([]float64, len(h)+1)}
+	if t == 0 {
+		p.limit = 1 // an empty partial prep still answers Starts(0)/topSums(0)
+	}
+	for i, c := range h {
+		p.ranked[i] = c.id
+		p.prefix[i+1] = p.prefix[i] + c.score
+	}
+	return p
+}
+
 // Graph returns the graph this Prep was built for.
 func (p *Prep) Graph() *graph.Graph { return p.g }
 
 // Starts returns the s best start candidates per CBAS phase 1 (§3.1),
 // capped at n. The slice aliases internal storage; do not modify.
 func (p *Prep) Starts(s int) []graph.NodeID {
+	if p.limit > 0 && s > p.limit && p.limit < p.g.N() {
+		panic("solver: partial Prep asked for more starts than it ranked")
+	}
 	if s > len(p.ranked) {
 		s = len(p.ranked)
 	}
@@ -193,7 +282,15 @@ func (p *Prep) Starts(s int) []graph.NodeID {
 // no completion can gain more than topSum[k−|S|]. The slice aliases the
 // Prep's precomputed (immutable) prefix array — O(1), no allocation, safe
 // to hand to every worker of every concurrent Solve.
+//
+// A partial Prep only knows the top `limit` scores; truncating its table
+// below k would understate the bound and over-prune, so asking beyond the
+// limit is a programming error (prepFor sizes partial preps to the
+// request, making this unreachable from Solve).
 func (p *Prep) topSums(k int) []float64 {
+	if p.limit > 0 && k > p.limit && p.limit < p.g.N() {
+		panic("solver: partial Prep asked for a deeper pruning table than it ranked")
+	}
 	if k >= len(p.prefix) {
 		k = len(p.prefix) - 1
 	}
@@ -210,18 +307,36 @@ func WithPrep(ctx context.Context, p *Prep) context.Context {
 	return context.WithValue(ctx, prepCtxKey{}, p)
 }
 
-// prepFor returns the context's Prep when it matches g, else computes one.
-func prepFor(ctx context.Context, g *graph.Graph) *Prep {
-	if p, ok := ctx.Value(prepCtxKey{}).(*Prep); ok && p != nil && p.g == g {
-		return p
+// ctxPrep returns the context's (full) Prep when it matches g.
+func ctxPrep(ctx context.Context, g *graph.Graph) (*Prep, bool) {
+	p, ok := ctx.Value(prepCtxKey{}).(*Prep)
+	if ok && p != nil && p.g == g && p.limit == 0 {
+		return p, true
 	}
-	return NewPrep(g)
+	return nil, false
 }
 
-// PickStarts returns the s best start candidates: nodes ranked by NodeScore
-// descending (ties broken by ascending id), per CBAS phase 1 (§3.1).
-func PickStarts(g *graph.Graph, s int) []graph.NodeID {
-	return append([]graph.NodeID(nil), NewPrep(g).Starts(s)...)
+// prepFor returns the context's Prep when it matches g, else builds a
+// partial one just deep enough for the request — the per-call path avoids
+// the full O(n log n) ranking entirely.
+func prepFor(ctx context.Context, g *graph.Graph, req core.Request) *Prep {
+	if p, ok := ctxPrep(ctx, g); ok {
+		return p
+	}
+	return newPartialPrep(g, max(req.K, req.Starts))
+}
+
+// PickStarts returns the s best start candidates: nodes ranked by
+// NodeScore descending (ties broken by ascending id), per CBAS phase 1
+// (§3.1). A context carrying a Prep for g (WithPrep) answers from the
+// resident ranking; otherwise only the top s nodes are selected — no
+// full-graph sort, no throwaway Prep. The result is a copy the caller may
+// keep; internal callers read Prep.Starts directly and copy nothing.
+func PickStarts(ctx context.Context, g *graph.Graph, s int) []graph.NodeID {
+	if p, ok := ctxPrep(ctx, g); ok {
+		return append([]graph.NodeID(nil), p.Starts(s)...)
+	}
+	return append([]graph.NodeID(nil), newPartialPrep(g, s).Starts(s)...)
 }
 
 // ---------------------------------------------------------------------------
@@ -320,11 +435,25 @@ func multiStart(ctx context.Context, name string, g *graph.Graph, req core.Reque
 	}
 	// One NodeScore ranking feeds both start selection and the pruning
 	// bound; workers share the read-only topSum slice. A context-attached
-	// Prep (WithPrep) makes this pass free.
-	prep := prepFor(ctx, g)
+	// Prep (WithPrep) makes this pass free; without one, a partial Prep
+	// ranks only the top max(K, Starts) nodes.
+	prep := prepFor(ctx, g, req)
 	starts := prep.Starts(req.Starts)
 	topSum := prep.topSums(req.K)
+	// The sampler backend is decided once from whole-graph statistics so
+	// every growth of this solve — region or whole-graph — draws from the
+	// random stream identically.
+	useFen := req.Sampler == core.SamplerFenwick ||
+		(req.Sampler == core.SamplerAuto && float64(req.K)*g.AvgDegree() > FenwickCrossover)
 	root := rng.New(req.Seed)
+
+	// Locality: fetch or extract one (K−1)-hop region per start. regions
+	// is nil when region mode is off or not worthwhile; individual entries
+	// are nil for starts whose ball exceeded the extraction cap (those
+	// tasks run on the whole graph). wsCap sizes fresh worker workspaces:
+	// O(max region) when every start has a region, O(n) otherwise.
+	regions, wsCap := planRegions(ctx, g, starts, req)
+	global := graphSubstrate(g)
 
 	// Budget decomposition. Greedy warm starts are their own tasks, emitted
 	// ahead of every sampling chunk: they are cheap, they are candidate
@@ -380,11 +509,11 @@ func multiStart(ctx context.Context, name string, g *graph.Graph, req core.Reque
 			defer wg.Done()
 			var ws *workspace
 			if pool != nil {
-				ws = pool.get(req, topSum)
+				ws = pool.get(req, topSum, useFen)
 				defer pool.put(ws)
 			} else {
-				ws = newWorkspace(g)
-				ws.configure(req, topSum)
+				ws = newWorkspace(wsCap)
+				ws.configure(req, topSum, useFen)
 			}
 			ws.inc = inc
 			for idx := range idxCh {
@@ -392,7 +521,19 @@ func multiStart(ctx context.Context, name string, g *graph.Graph, req core.Reque
 					continue // drain without working so the feeder never blocks
 				}
 				t := tasks[idx]
-				outcomes[idx] = run(ctx, ws, t, starts[t.startIdx], root, req)
+				// Bind the task's substrate: this start's compact region
+				// when one exists, the whole graph otherwise. Growth is
+				// bit-identical either way (see graph.Region); only the
+				// memory footprint changes.
+				start := starts[t.startIdx]
+				if regions != nil && regions[t.startIdx] != nil {
+					r := regions[t.startIdx]
+					ws.bindRegion(r)
+					start = r.LocalStart()
+				} else {
+					ws.bindGraph(global)
+				}
+				outcomes[idx] = run(ctx, ws, t, start, root, req)
 			}
 		}()
 	}

@@ -411,8 +411,9 @@ func TestWithPrep(t *testing.T) {
 }
 
 func TestPickStarts(t *testing.T) {
+	ctx := context.Background()
 	g := richCliqueGraph(t)
-	starts := PickStarts(g, 3)
+	starts := PickStarts(ctx, g, 3)
 	if len(starts) != 3 {
 		t.Fatalf("got %d starts, want 3", len(starts))
 	}
@@ -425,7 +426,16 @@ func TestPickStarts(t *testing.T) {
 			t.Errorf("tail node %d ranked above clique nodes", v)
 		}
 	}
-	if n := len(PickStarts(g, 100)); n != g.N() {
+	if n := len(PickStarts(ctx, g, 100)); n != g.N() {
 		t.Errorf("PickStarts capped at %d, want N=%d", n, g.N())
+	}
+	// A context-attached resident ranking answers without re-ranking and
+	// must agree with the partial-selection path.
+	prepped := PickStarts(WithPrep(ctx, NewPrep(g)), g, 3)
+	for i := range starts {
+		if prepped[i] != starts[i] {
+			t.Errorf("prepped PickStarts %v != partial %v", prepped, starts)
+			break
+		}
 	}
 }

@@ -2,6 +2,7 @@ package solver
 
 import (
 	"math"
+	"slices"
 
 	"waso/internal/bitset"
 	"waso/internal/core"
@@ -10,15 +11,55 @@ import (
 	"waso/internal/sampling"
 )
 
+// substrate is the uniform fused-CSR view a workspace grows over: either a
+// whole graph (FusedCSR, zero-copy aliases) or one start's compact
+// graph.Region. Growth code indexes only these four arrays, so switching a
+// worker between a region task and a whole-graph task is four slice-header
+// assignments.
+type substrate struct {
+	off []int64
+	nbr []graph.NodeID
+	w   []float64 // fused τ_out+τ_in per adjacency entry
+	eta []float64
+}
+
+// neighbors returns the sorted adjacency of v.
+func (s substrate) neighbors(v graph.NodeID) []graph.NodeID {
+	return s.nbr[s.off[v]:s.off[v+1]]
+}
+
+// edges returns the adjacency of v with the fused weights.
+func (s substrate) edges(v graph.NodeID) ([]graph.NodeID, []float64) {
+	lo, hi := s.off[v], s.off[v+1]
+	return s.nbr[lo:hi], s.w[lo:hi]
+}
+
+// graphSubstrate is the whole-graph view.
+func graphSubstrate(g *graph.Graph) substrate {
+	off, nbr, w, eta := g.FusedCSR()
+	return substrate{off: off, nbr: nbr, w: w, eta: eta}
+}
+
+// regionSubstrate is the compact per-start view.
+func regionSubstrate(r *graph.Region) substrate {
+	off, nbr, w, eta := r.CSR()
+	return substrate{off: off, nbr: nbr, w: w, eta: eta}
+}
+
 // workspace holds the per-worker scratch state for growing connected
-// groups. The graph-sized structures are allocated once (newWorkspace) and
-// recycled across requests through a WorkspacePool; the request-sized
-// parameters (k, alpha, sampler backend, pruning table) are set per Solve
-// by configure. All per-growth state is reset sparsely between samples
-// (bitset.ClearList, bulk Fenwick Reset), so a sample costs O(k · deg)
-// rather than O(n).
+// groups. The id-space-sized structures are allocated once for a fixed
+// capacity (newWorkspace) and recycled across requests through a
+// WorkspacePool; the request-sized parameters (k, alpha, sampler backend,
+// pruning table) are set per Solve by configure; and the active substrate
+// (whole graph or one start's region, any node count ≤ capacity) is
+// switched per task by bind. All per-growth state is reset sparsely
+// between samples (bitset.ClearList, bulk Fenwick Reset), so a sample
+// costs O(k · deg) rather than O(n).
 type workspace struct {
-	g      *graph.Graph
+	capacity int
+	sub      substrate
+	toGlobal []graph.NodeID // region local→global ids; nil on the whole graph
+
 	k      int
 	topSum []float64  // topSum[r] = sum of the r largest NodeScores in V
 	inc    *incumbent // shared cross-start lower bound for pruning
@@ -66,33 +107,50 @@ type heapEntry struct {
 	slot int32
 }
 
-// newWorkspace allocates the graph-sized scratch state for g. The result
-// is unusable until configure sets the request parameters.
-func newWorkspace(g *graph.Graph) *workspace {
-	n := g.N()
+// newWorkspace allocates scratch state able to grow over any substrate of
+// at most capacity nodes. The result is unusable until configure sets the
+// request parameters and bind selects a substrate. When every start of a
+// solve has a region, capacity is the largest region — O(region), not
+// O(n) — which is what keeps uncached region solves allocation-light.
+func newWorkspace(capacity int) *workspace {
 	return &workspace{
-		g:       g,
-		inc:     newIncumbent(),
-		inSet:   bitset.New(n),
-		inFront: bitset.New(n),
-		slotOf:  make([]int32, n),
+		capacity: capacity,
+		inc:      newIncumbent(),
+		inSet:    bitset.New(capacity),
+		inFront:  bitset.New(capacity),
+		slotOf:   make([]int32, capacity),
 	}
 }
 
 // configure (re)parameterizes the workspace for one request: group-size
-// bound, pruning table, CBASND exponent, and sampler backend. topSum is the
-// shared read-only pruning-bound table from Prep.topSums. Cheap — scalars
-// plus at most one lazy Fenwick allocation — so pooled workspaces are
-// reconfigured per request.
-func (ws *workspace) configure(req core.Request, topSum []float64) {
+// bound, pruning table, CBASND exponent, and sampler backend. topSum is
+// the shared read-only pruning-bound table from Prep.topSums; useFen is
+// decided once per solve from the whole graph's statistics so region and
+// whole-graph growths consume the random stream identically. Cheap —
+// scalars plus at most one lazy Fenwick allocation — so pooled workspaces
+// are reconfigured per request.
+func (ws *workspace) configure(req core.Request, topSum []float64, useFen bool) {
 	ws.k = req.K
 	ws.topSum = topSum
 	ws.alpha = req.Alpha
-	ws.useFen = req.Sampler == core.SamplerFenwick ||
-		(req.Sampler == core.SamplerAuto && float64(req.K)*ws.g.AvgDegree() > FenwickCrossover)
+	ws.useFen = useFen
 	if ws.useFen && ws.fen == nil {
-		ws.fen = sampling.NewFenwick(ws.g.N())
+		ws.fen = sampling.NewFenwick(ws.capacity)
 	}
+}
+
+// bindGraph points the workspace at the whole graph.
+func (ws *workspace) bindGraph(sub substrate) {
+	ws.sub = sub
+	ws.toGlobal = nil
+}
+
+// bindRegion points the workspace at one start's compact region; grown
+// solutions are translated back to global ids by snapshot. The region must
+// fit the workspace capacity.
+func (ws *workspace) bindRegion(r *graph.Region) {
+	ws.sub = regionSubstrate(r)
+	ws.toGlobal = r.GlobalIDs()
 }
 
 // reset sparsely clears the previous growth. O(touched).
@@ -120,21 +178,33 @@ func (ws *workspace) reset() {
 }
 
 // deltaOf computes ΔW(v | set) = η_v + Σ_{u∈set∩N(v)} (τ_{v,u} + τ_{u,v})
-// with a direct Edges scan — the hot path of every solver.
+// with a direct fused-adjacency scan — the hot path of every solver. One
+// float64 read per neighbor instead of the two the unfused layout paid.
 func (ws *workspace) deltaOf(v graph.NodeID) float64 {
-	d := ws.g.Interest(v)
-	nbrs, tauOut, tauIn := ws.g.Edges(v)
+	d := ws.sub.eta[v]
+	nbrs, w := ws.sub.edges(v)
 	for p, u := range nbrs {
 		if ws.inSet.Contains(int(u)) {
-			d += tauOut[p] + tauIn[p]
+			d += w[p]
 		}
 	}
 	return d
 }
 
-// snapshot captures the current group as a canonical Solution.
+// snapshot captures the current group as a canonical Solution, translating
+// region-local ids back to global ids when a region is bound. The monotone
+// remap means sorting after translation yields the same canonical order
+// the whole-graph path produces.
 func (ws *workspace) snapshot() core.Solution {
-	return core.NewSolution(ws.set, ws.will)
+	if ws.toGlobal == nil {
+		return core.NewSolution(ws.set, ws.will)
+	}
+	nodes := make([]graph.NodeID, len(ws.set))
+	for i, v := range ws.set {
+		nodes[i] = ws.toGlobal[v]
+	}
+	slices.Sort(nodes)
+	return core.Solution{Nodes: nodes, Willingness: ws.will}
 }
 
 // upperBound is the pruning bound of §3.1: adding v to any group gains at
@@ -195,7 +265,7 @@ func (ws *workspace) addUniform(v graph.NodeID) {
 	ws.will += ws.deltaOf(v)
 	ws.inSet.Add(int(v))
 	ws.set = append(ws.set, v)
-	for _, u := range ws.g.Neighbors(v) {
+	for _, u := range ws.sub.neighbors(v) {
 		if ws.inSet.Contains(int(u)) || ws.inFront.Contains(int(u)) {
 			continue
 		}
@@ -241,7 +311,7 @@ func (ws *workspace) seedSlot(start graph.NodeID) {
 	ws.touched = append(ws.touched, start)
 	ws.slots = append(ws.slots, start)
 	ws.slotOf[start] = 0
-	d := ws.g.Interest(start)
+	d := ws.sub.eta[start]
 	ws.delta = append(ws.delta, d)
 	if ws.linActive {
 		w := powWeight(d, ws.alpha)
@@ -266,14 +336,14 @@ func (ws *workspace) takeSlot(slot int) {
 		ws.wTotal -= ws.wLin[slot]
 		ws.wLin[slot] = 0
 	}
-	nbrs, tauOut, tauIn := ws.g.Edges(v)
+	nbrs, w := ws.sub.edges(v)
 	for p, u := range nbrs {
 		if ws.inSet.Contains(int(u)) {
 			continue
 		}
 		if ws.inFront.Contains(int(u)) {
 			s := int(ws.slotOf[u])
-			ws.delta[s] += tauOut[p] + tauIn[p]
+			ws.delta[s] += w[p]
 			if ws.fenActive {
 				ws.fen.Set(s, powWeight(ws.delta[s], ws.alpha))
 			}
