@@ -7,6 +7,12 @@
 //
 //	waso -gen powerlaw -n 1000 -k 10 -algo all
 //	waso -gen er -n 5000 -avgdeg 12 -k 20 -algo cbas,cbasnd -seeds 10 -csv
+//	waso -gen powerlaw -n 10000 -batch items.json          # batch mode
+//
+// Batch mode (-batch) reads a JSON file of {algo, request} items — the
+// same item shape POST /v1/solve/batch accepts — and runs them all against
+// one generated instance through the shared per-graph state and bounded
+// executor the server uses, printing one row per item.
 //
 // The CLI shares its solving path with the wasod server: both build a
 // core.Request and dispatch through the solver registry, so a (graph,
@@ -14,7 +20,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -25,6 +33,7 @@ import (
 	"waso/internal/core"
 	"waso/internal/gen"
 	"waso/internal/graph"
+	"waso/internal/service"
 	"waso/internal/solver"
 	"waso/internal/stats"
 )
@@ -55,6 +64,7 @@ type config struct {
 	noPrune bool
 	csv     bool
 	verbose bool
+	batch   string
 }
 
 func run(ctx context.Context, args []string, out io.Writer) error {
@@ -76,11 +86,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fs.BoolVar(&cfg.noPrune, "noprune", false, "disable the CBAS/CBASND pruning bound")
 	fs.BoolVar(&cfg.csv, "csv", false, "emit CSV instead of an aligned table")
 	fs.BoolVar(&cfg.verbose, "v", false, "print per-seed solutions")
+	fs.StringVar(&cfg.batch, "batch", "", "path to a JSON file of batch items ({algo, request} pairs) to run against one generated instance")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return nil
 		}
 		return err
+	}
+	if cfg.batch != "" {
+		return runBatch(ctx, cfg, out)
 	}
 
 	req := core.DefaultRequest(cfg.k)
@@ -152,6 +166,80 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		lo, hi := stats.MinMax(a.will)
 		t.AddRow(s.Name(), stats.Mean(a.will), stats.StdDev(a.will), lo, hi,
 			stats.Mean(a.millis), a.samples, a.pruned)
+	}
+	if cfg.csv {
+		return t.CSV(out)
+	}
+	return t.Fprint(out)
+}
+
+// batchFileItem is one entry of a -batch file: an algorithm name plus a
+// request document that decodes over the paper defaults, exactly like a
+// wasod solve body.
+type batchFileItem struct {
+	Algo    string          `json:"algo"`
+	Request json.RawMessage `json:"request"`
+}
+
+// runBatch is the CLI front end of the batch path: generate one instance
+// from the -gen/-n/-avgdeg/-seed flags and run every item of the -batch
+// file against it through service.SolveBatch — literally the machinery
+// behind POST /v1/solve/batch (shared ranking, workspace pool, region
+// cache, bounded executor, concurrent items), so the two front ends
+// cannot drift. The CLI is stricter than the server about failures: the
+// first item error aborts the run, and every solution is re-checked
+// against the solver invariants.
+func runBatch(ctx context.Context, cfg config, out io.Writer) error {
+	data, err := os.ReadFile(cfg.batch)
+	if err != nil {
+		return err
+	}
+	var fileItems []batchFileItem
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&fileItems); err != nil {
+		return fmt.Errorf("%s: %w", cfg.batch, err)
+	}
+	// Items are fully explicit documents: -workers and the other experiment
+	// flags deliberately do not leak into them ("workers": 0 means
+	// GOMAXPROCS, exactly as it does on the wire).
+	items := make([]core.BatchItem, len(fileItems))
+	for i, fi := range fileItems {
+		req, err := core.DecodeRequest(fi.Request)
+		if err != nil {
+			return fmt.Errorf("items[%d]: %w", i, err)
+		}
+		items[i] = core.BatchItem{Algo: fi.Algo, Request: req}
+	}
+
+	g, err := gen.Spec{Kind: cfg.genKind, N: cfg.n, AvgDeg: cfg.avgDeg, Seed: cfg.seed}.Build()
+	if err != nil {
+		return err
+	}
+	svc := service.New(service.Config{})
+	defer svc.Close()
+	if _, err := svc.Load("batch", g, "cli"); err != nil {
+		return err
+	}
+	reports, err := svc.SolveBatch(ctx, "batch", items)
+	if err != nil {
+		return fmt.Errorf("%s: %w", cfg.batch, err)
+	}
+	for i, br := range reports {
+		if br.Err != nil {
+			return fmt.Errorf("items[%d] (%s): %w", i, items[i].Algo, br.Err)
+		}
+		if err := check(g, items[i].Request.K, *br.Report); err != nil {
+			return fmt.Errorf("items[%d] (%s): %w", i, items[i].Algo, err)
+		}
+	}
+
+	title := fmt.Sprintf("WASO batch %s n=%d avgdeg=%g seed=%d items=%d",
+		cfg.genKind, cfg.n, cfg.avgDeg, cfg.seed, len(items))
+	t := stats.NewTable(title, "item", "algo", "k", "W", "ms", "samples", "pruned")
+	for i, br := range reports {
+		t.AddRow(i, br.Report.Algo, items[i].Request.K, br.Report.Best.Willingness,
+			br.Report.ElapsedMillis(), br.Report.SamplesDrawn, br.Report.Pruned)
 	}
 	if cfg.csv {
 		return t.CSV(out)

@@ -10,6 +10,10 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"waso/internal/core"
+	"waso/internal/gen"
+	"waso/internal/solver"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -122,6 +126,78 @@ func TestBadFlags(t *testing.T) {
 		if err := run(context.Background(), args, &bytes.Buffer{}); err == nil {
 			t.Errorf("run(%v) accepted", args)
 		}
+	}
+}
+
+// TestBatchMode: -batch runs each item of a JSON file against one
+// generated instance and reports per-item rows whose willingness matches
+// a direct solve of the same (graph, algo, request) — the CLI front end
+// of the batch path adds presentation, not semantics.
+func TestBatchMode(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "items.json")
+	items := `[
+		{"algo":"dgreedy","request":{"k":6,"seed":3}},
+		{"algo":"cbas","request":{"k":6,"samples":20,"seed":3}},
+		{"algo":"cbasnd","request":{"k":4,"samples":20,"seed":3}}
+	]`
+	if err := os.WriteFile(path, []byte(items), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := run(context.Background(),
+		[]string{"-gen", "er", "-n", "300", "-avgdeg", "6", "-seed", "11", "-batch", path, "-csv"},
+		&buf)
+	if err != nil {
+		t.Fatalf("batch run: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// Header plus one row per item.
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), buf.String())
+	}
+	g, err := gen.Spec{Kind: "er", N: 300, AvgDeg: 6, Seed: 11}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantReq := core.DefaultRequest(6)
+	wantReq.Samples = 20
+	wantReq.Seed = 3
+	want, err := (solver.CBAS{}).Solve(context.Background(), g, wantReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 2 (item 1) is the cbas item; column 3 is W.
+	cells := strings.Split(lines[2], ",")
+	if len(cells) != 7 || cells[1] != "cbas" {
+		t.Fatalf("unexpected cbas row %q", lines[2])
+	}
+	gotW, err := strconv.ParseFloat(cells[3], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The table renderer rounds to 4 decimals; compare at that precision.
+	if diff := gotW - want.Best.Willingness; diff > 1e-3 || diff < -1e-3 {
+		t.Errorf("batch cbas W = %v, want %v", gotW, want.Best.Willingness)
+	}
+
+	// Bad batch files fail loudly.
+	for name, content := range map[string]string{
+		"empty.json":   `[]`,
+		"unknown.json": `[{"algo":"oracle","request":{"k":5}}]`,
+		"badreq.json":  `[{"algo":"cbas","request":{"k":0}}]`,
+		"badkey.json":  `[{"algo":"cbas","request":{"k":5},"extra":1}]`,
+	} {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(context.Background(), []string{"-n", "50", "-batch", p}, &bytes.Buffer{}); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	if err := run(context.Background(), []string{"-batch", filepath.Join(dir, "missing.json")}, &bytes.Buffer{}); err == nil {
+		t.Error("missing batch file accepted")
 	}
 }
 

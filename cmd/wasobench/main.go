@@ -27,10 +27,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
+	"slices"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"waso/internal/core"
@@ -74,6 +78,13 @@ type entry struct {
 	Willing  float64 `json:"willingness,omitempty"`
 	SamplesN int64   `json:"samples_drawn,omitempty"`
 	PrunedN  int64   `json:"pruned,omitempty"`
+
+	// Throughput-mode rows: request rate and latency percentiles of a
+	// concurrent replay (NsPerOp then holds the mean latency).
+	QPS float64 `json:"qps,omitempty"`
+	P50 float64 `json:"p50_ns,omitempty"`
+	P95 float64 `json:"p95_ns,omitempty"`
+	P99 float64 `json:"p99_ns,omitempty"`
 }
 
 func run(args []string, out io.Writer) error {
@@ -97,6 +108,11 @@ func run(args []string, out io.Writer) error {
 		cmpNew   = fs.String("compare-new", "", "compare mode: path of the freshly generated report")
 		cmpMatch = fs.String("compare-match", "", "compare mode: only gate rows whose name contains this substring")
 		cmpTol   = fs.Float64("compare-tolerance", 1.25, "compare mode: fail when new/old ns_per_op exceeds this ratio")
+
+		throughput = fs.Bool("throughput", false, "serving-replay mode: fire concurrent solve requests at a resident graph and report QPS + latency percentiles")
+		concs      = fs.String("concurrency", "1,8,32", "throughput mode: comma-separated concurrent client counts")
+		requests   = fs.Int("requests", 256, "throughput mode: total solve requests per configuration")
+		execModes  = fs.String("execmodes", "shared,private", "throughput mode: scheduler modes to sweep (shared = one bounded executor, private = per-request pools)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -141,6 +157,46 @@ func run(args []string, out io.Writer) error {
 		if _, err := solver.New(algoNames[i]); err != nil {
 			return err
 		}
+	}
+
+	if *throughput {
+		concList, err := parseInts(*concs)
+		if err != nil {
+			return fmt.Errorf("-concurrency: %w", err)
+		}
+		if *requests < 1 {
+			return fmt.Errorf("-requests must be ≥ 1, got %d", *requests)
+		}
+		// Fail loudly on sweep flags the replay does not honour — silently
+		// dropping half of `-regions off,auto` would mislabel the output.
+		if len(modes) > 1 {
+			return fmt.Errorf("-throughput replays a single region mode, got %q", *regions)
+		}
+		var inapplicable []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "workers", "reps", "skip-unprepped":
+				inapplicable = append(inapplicable, "-"+f.Name)
+			}
+		})
+		if len(inapplicable) > 0 {
+			return fmt.Errorf("%s do not apply in -throughput mode", strings.Join(inapplicable, ", "))
+		}
+		var modeList []string
+		for _, m := range strings.Split(*execModes, ",") {
+			m = strings.TrimSpace(m)
+			if m != "shared" && m != "private" {
+				return fmt.Errorf("-execmodes: unknown mode %q (want shared or private)", m)
+			}
+			modeList = append(modeList, m)
+		}
+		cfg := throughputConfig{
+			sizes: sizes, ks: kSweep, algos: algoNames, concs: concList,
+			execModes: modeList, genKind: *genKind, avgDeg: *avgDeg,
+			region: modes[0], starts: *starts, samples: *samples,
+			requests: *requests, seed: *seed,
+		}
+		return runThroughput(cfg, *outPath, out, args)
 	}
 
 	// Raise GOMAXPROCS to the top of the sweep so worker counts are not
@@ -285,6 +341,201 @@ func measure(ctx context.Context, g *graph.Graph, sv solver.Solver, req core.Req
 	}
 	fmt.Fprintf(os.Stderr, "wasobench: %-60s %12.0f ns/op\n", best.Name, best.NsPerOp)
 	return best, nil
+}
+
+// throughputConfig parameterizes one serving replay sweep.
+type throughputConfig struct {
+	sizes, ks, concs []int
+	algos, execModes []string
+	genKind          string
+	avgDeg           float64
+	region           core.RegionMode
+	starts, samples  int
+	requests         int
+	seed             uint64
+}
+
+// runThroughput is the serving-replay mode: against each resident graph it
+// fires cfg.requests solve requests from N concurrent clients — the many
+// small (k, budget) queries of the serving workload, seeds varied per
+// request — and reports QPS plus p50/p95/p99 latency. The exec axis is the
+// point of the sweep: "shared" routes every request through one bounded
+// solver.Executor (the wasod serving path), "private" gives each request
+// its own GOMAXPROCS-sized pool (the pre-executor behavior), so the rows
+// quantify what oversubscription costs at each concurrency level.
+func runThroughput(cfg throughputConfig, outPath string, out io.Writer, args []string) error {
+	rep := report{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		Goos:       runtime.GOOS,
+		Goarch:     runtime.GOARCH,
+		CPU:        cpuModel(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Command:    "wasobench " + strings.Join(args, " "),
+		Note: fmt.Sprintf("Serving throughput replay: %d solve requests (seeds varied per request) fired by "+
+			"concurrent clients against one resident graph sharing Prep, workspace pool and region cache. "+
+			"exec=shared schedules every request on one bounded executor (total solver goroutines = GOMAXPROCS); "+
+			"exec=private spawns a GOMAXPROCS-sized pool per request, oversubscribing the CPU at high concurrency. "+
+			"%d starts x %d samples per request; ns_per_op is mean latency, p50/p95/p99 and qps recorded per row.",
+			cfg.requests, cfg.starts, cfg.samples),
+	}
+	for _, n := range cfg.sizes {
+		// Per-graph closure so the shared executor's workers are released
+		// on every return path.
+		err := func() error {
+			fmt.Fprintf(os.Stderr, "wasobench: generating %s n=%d avgdeg=%g...\n", cfg.genKind, n, cfg.avgDeg)
+			g, err := gen.Spec{Kind: cfg.genKind, N: n, AvgDeg: cfg.avgDeg, Seed: cfg.seed}.Build()
+			if err != nil {
+				return err
+			}
+			// One warm per-graph context, exactly like the service layer:
+			// the replay measures scheduling, not ranking or extraction.
+			warm := context.Background()
+			warm = solver.WithPrep(warm, solver.NewPrep(g))
+			warm = solver.WithWorkspacePool(warm, solver.NewWorkspacePool(g))
+			warm = solver.WithRegionCache(warm, solver.NewRegionCache(g, 0))
+			ex := solver.NewExecutor(0)
+			defer ex.Close()
+			for _, k := range cfg.ks {
+				for _, algoName := range cfg.algos {
+					sv, err := solver.New(algoName)
+					if err != nil {
+						return err
+					}
+					base := core.DefaultRequest(k)
+					base.Starts = cfg.starts
+					base.Samples = cfg.samples
+					base.Region = cfg.region
+					for _, conc := range cfg.concs {
+						for _, mode := range cfg.execModes {
+							ctx := warm
+							if mode == "shared" {
+								ctx = solver.WithExecutor(ctx, ex)
+							}
+							e, err := measureThroughput(ctx, g, sv, base, conc, cfg.requests, cfg.seed)
+							if err != nil {
+								return err
+							}
+							e.Name = throughputRowName(n, cfg.genKind, k, algoName, conc, mode)
+							fmt.Fprintf(os.Stderr, "wasobench: %-64s %9.1f qps  p99 %11.0f ns\n", e.Name, e.QPS, e.P99)
+							rep.Benchmarks = append(rep.Benchmarks, e)
+						}
+					}
+				}
+			}
+			return nil
+		}()
+		if err != nil {
+			return err
+		}
+	}
+
+	dst := out
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	enc := json.NewEncoder(dst)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// throughputRowName renders one throughput row, omitting default axes like
+// rowName does.
+func throughputRowName(n int, genKind string, k int, algo string, conc int, mode string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "BenchmarkThroughput/n=%d", n)
+	if genKind != defaultGen {
+		fmt.Fprintf(&b, "/gen=%s", genKind)
+	}
+	if k != defaultK {
+		fmt.Fprintf(&b, "/k=%d", k)
+	}
+	fmt.Fprintf(&b, "/%s/conc=%d/exec=%s", algo, conc, mode)
+	return b.String()
+}
+
+// measureThroughput replays total requests from conc concurrent clients
+// (seed varied per request) and aggregates latency. One untimed warmup
+// request faults in shared state first.
+func measureThroughput(ctx context.Context, g *graph.Graph, sv solver.Solver, base core.Request, conc, total int, seed uint64) (entry, error) {
+	warmReq := base
+	warmReq.Seed = seed
+	if _, err := sv.Solve(ctx, g, warmReq); err != nil {
+		return entry{}, err
+	}
+	lat := make([]float64, total)
+	var next atomic.Int64
+	var errMu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	if conc > total {
+		conc = total
+	}
+	began := time.Now()
+	for c := 0; c < conc; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				req := base
+				req.Seed = seed + uint64(i)
+				t0 := time.Now()
+				if _, err := sv.Solve(ctx, g, req); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				lat[i] = float64(time.Since(t0).Nanoseconds())
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(began)
+	if firstErr != nil {
+		return entry{}, firstErr
+	}
+	sorted := append([]float64(nil), lat...)
+	slices.Sort(sorted)
+	mean := 0.0
+	for _, v := range sorted {
+		mean += v
+	}
+	mean /= float64(total)
+	return entry{
+		Iters:   total,
+		NsPerOp: mean,
+		QPS:     float64(total) / wall.Seconds(),
+		P50:     percentile(sorted, 50),
+		P95:     percentile(sorted, 95),
+		P99:     percentile(sorted, 99),
+	}, nil
+}
+
+// percentile returns the p-th percentile of an ascending-sorted sample
+// (nearest-rank method).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
 }
 
 // runCompare gates a fresh report against a committed baseline: every new

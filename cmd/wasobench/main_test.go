@@ -100,6 +100,64 @@ func TestHarnessRegionSweep(t *testing.T) {
 	}
 }
 
+// TestThroughputMode: the serving replay produces one row per (algo,
+// concurrency, exec mode) with positive QPS and ordered percentiles, and
+// rejects bad sweep flags.
+func TestThroughputMode(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-throughput", "-n", "2000", "-samples", "5", "-requests", "8",
+		"-concurrency", "1,2", "-algos", "cbas",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var rep report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	// 1 algo × 2 concurrencies × 2 exec modes.
+	if want := 4; len(rep.Benchmarks) != want {
+		t.Fatalf("got %d rows, want %d: %v", len(rep.Benchmarks), want, names(rep.Benchmarks))
+	}
+	seen := map[string]bool{}
+	for _, b := range rep.Benchmarks {
+		seen[b.Name] = true
+		if b.QPS <= 0 || b.NsPerOp <= 0 {
+			t.Errorf("%s: qps = %v, ns_per_op = %v", b.Name, b.QPS, b.NsPerOp)
+		}
+		if b.P50 <= 0 || b.P95 < b.P50 || b.P99 < b.P95 {
+			t.Errorf("%s: unordered percentiles p50=%v p95=%v p99=%v", b.Name, b.P50, b.P95, b.P99)
+		}
+		if b.Iters != 8 {
+			t.Errorf("%s: iterations = %d, want 8", b.Name, b.Iters)
+		}
+	}
+	for _, want := range []string{
+		"BenchmarkThroughput/n=2000/cbas/conc=1/exec=shared",
+		"BenchmarkThroughput/n=2000/cbas/conc=2/exec=private",
+	} {
+		if !seen[want] {
+			t.Errorf("missing row %q (have %v)", want, names(rep.Benchmarks))
+		}
+	}
+
+	for _, args := range [][]string{
+		{"-throughput", "-n", "100", "-requests", "0"},
+		{"-throughput", "-n", "100", "-concurrency", "0"},
+		{"-throughput", "-n", "100", "-execmodes", "quantum"},
+		// Sweep axes the replay does not honour fail loudly instead of
+		// silently shaping the output.
+		{"-throughput", "-n", "100", "-regions", "off,auto"},
+		{"-throughput", "-n", "100", "-workers", "2"},
+		{"-throughput", "-n", "100", "-reps", "5"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
 func names(rows []entry) []string {
 	out := make([]string, len(rows))
 	for i, r := range rows {

@@ -8,11 +8,16 @@
 //	GET  /v1/graphs          — list resident graphs
 //	DELETE /v1/graphs/{id}   — evict a graph
 //	POST /v1/solve           — run a solver against a resident graph
+//	POST /v1/solve/batch     — run many (algo, request) items against one
+//	                           graph in a single round-trip; per-item
+//	                           status envelope, whole-batch timeout_ms
 //
 // Solve bodies decode over core.DefaultRequest, so absent fields keep the
 // paper defaults while explicit zeros (e.g. "samples": 0) mean what they
 // say. Per-request deadlines come from "timeout_ms", bounded by the
-// server's -timeout; deadline overruns surface as 504s.
+// server's -timeout; deadline overruns surface as 504s. All solving runs
+// on the service's shared executor, so concurrent and batched requests
+// never oversubscribe the CPU.
 package main
 
 import (
@@ -37,12 +42,13 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		timeout  = flag.Duration("timeout", 30*time.Second, "per-request solve deadline cap (also the default when a request sets none)")
-		maxBody  = flag.Int64("maxbody", 64<<20, "maximum request body bytes")
-		maxGraph = flag.Int("maxgraphs", 0, "maximum resident graphs (0 = unlimited)")
-		maxNodes = flag.Int("maxnodes", 10_000_000, "maximum nodes per resident graph (0 = unlimited)")
-		maxEdges = flag.Int("maxedges", 50_000_000, "maximum edges per resident graph (0 = unlimited)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		timeout    = flag.Duration("timeout", 30*time.Second, "per-request solve deadline cap (also the default when a request sets none)")
+		maxBody    = flag.Int64("maxbody", 64<<20, "maximum request body bytes")
+		maxGraph   = flag.Int("maxgraphs", 0, "maximum resident graphs (0 = unlimited)")
+		maxNodes   = flag.Int("maxnodes", 10_000_000, "maximum nodes per resident graph (0 = unlimited)")
+		maxEdges   = flag.Int("maxedges", 50_000_000, "maximum edges per resident graph (0 = unlimited)")
+		maxRegions = flag.Int("maxregions", 0, "search-region cache entries per resident graph (0 = default, negative = disable caching)")
 	)
 	flag.Parse()
 
@@ -51,7 +57,9 @@ func main() {
 		MaxGraphs:      *maxGraph,
 		MaxNodes:       *maxNodes,
 		MaxEdges:       *maxEdges,
+		MaxRegions:     *maxRegions,
 	})
+	defer svc.Close()
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: newMux(svc, *maxBody, *timeout),
@@ -102,6 +110,7 @@ func newMux(svc *service.Service, maxBody int64, maxTimeout time.Duration) *http
 	mux.HandleFunc("GET /v1/graphs", a.listGraphs)
 	mux.HandleFunc("DELETE /v1/graphs/{id}", a.evictGraph)
 	mux.HandleFunc("POST /v1/solve", a.solve)
+	mux.HandleFunc("POST /v1/solve/batch", a.solveBatch)
 	return mux
 }
 
@@ -116,23 +125,35 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// fail maps service/context sentinel errors to HTTP statuses.
-func fail(w http.ResponseWriter, err error) {
+// statusOf maps service/context sentinel errors to HTTP statuses. Only
+// errors the client provably caused map below 500: everything unrecognized
+// is a server-side fault and reports 500, not the 400 it used to — a
+// mislabeled status both misleads clients and hides server bugs from
+// error-rate monitoring.
+func statusOf(err error) int {
 	var tooBig *http.MaxBytesError
-	status := http.StatusBadRequest
 	switch {
-	case errors.Is(err, service.ErrNotFound):
-		status = http.StatusNotFound
-	case errors.Is(err, service.ErrExists):
-		status = http.StatusConflict
-	case errors.Is(err, context.DeadlineExceeded):
-		status = http.StatusGatewayTimeout
-	case errors.Is(err, context.Canceled):
-		status = 499 // client closed request (nginx convention)
+	// Decode sites wrap body errors in ErrInvalid, so the body-size check
+	// must outrank it or an oversized body would report 400 instead of 413.
 	case errors.As(err, &tooBig):
-		status = http.StatusRequestEntityTooLarge
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, service.ErrInvalid):
+		return http.StatusBadRequest
+	case errors.Is(err, service.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, service.ErrExists):
+		return http.StatusConflict
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
 	}
-	writeJSON(w, status, httpError{Error: err.Error()})
+	return http.StatusInternalServerError
+}
+
+// fail writes the uniform error envelope with the status of statusOf.
+func fail(w http.ResponseWriter, err error) {
+	writeJSON(w, statusOf(err), httpError{Error: err.Error()})
 }
 
 func (a *api) health(w http.ResponseWriter, _ *http.Request) {
@@ -149,9 +170,16 @@ type putGraphBody struct {
 
 func (a *api) putGraph(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, a.maxBody)
-	// Binary codec upload: id comes from the query string.
+	// Binary codec upload: id comes from the query string. Validate it
+	// before decoding — an empty or inadmissible id used to be discovered
+	// only after paying the full-body Decode, a free amplification lever
+	// for large uploads.
 	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/octet-stream") {
 		id := r.URL.Query().Get("id")
+		if err := a.svc.AdmitID(id); err != nil {
+			fail(w, err)
+			return
+		}
 		g, err := graph.Decode(body)
 		if err != nil {
 			fail(w, fmt.Errorf("%w: %w", service.ErrInvalid, err))
@@ -231,6 +259,35 @@ type solveResponse struct {
 	Report core.Report `json:"report"`
 }
 
+// decodeRequest decodes a raw request document over the paper defaults
+// (core.DecodeRequest), mapping failures to the client-error family.
+func decodeRequest(raw json.RawMessage) (core.Request, error) {
+	req, err := core.DecodeRequest(raw)
+	if err != nil {
+		return req, fmt.Errorf("%w: request: %w", service.ErrInvalid, err)
+	}
+	return req, nil
+}
+
+// deadlineCtx applies a client-supplied timeout_ms to ctx, clamped to the
+// server's -timeout so a client cannot pin workers past the operator's
+// bound. A negative value is a client error — it used to be silently
+// ignored, solving with no per-request deadline at all.
+func (a *api) deadlineCtx(ctx context.Context, timeoutMS int64) (context.Context, context.CancelFunc, error) {
+	if timeoutMS < 0 {
+		return ctx, nil, fmt.Errorf("%w: timeout_ms must be ≥ 0, got %d", service.ErrInvalid, timeoutMS)
+	}
+	if timeoutMS == 0 {
+		return ctx, func() {}, nil
+	}
+	d := time.Duration(timeoutMS) * time.Millisecond
+	if a.maxTimeout > 0 && d > a.maxTimeout {
+		d = a.maxTimeout
+	}
+	ctx, cancel := context.WithTimeout(ctx, d)
+	return ctx, cancel, nil
+}
+
 func (a *api) solve(w http.ResponseWriter, r *http.Request) {
 	var body solveBody
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, a.maxBody))
@@ -239,31 +296,93 @@ func (a *api) solve(w http.ResponseWriter, r *http.Request) {
 		fail(w, fmt.Errorf("%w: %w", service.ErrInvalid, err))
 		return
 	}
-	req := core.DefaultRequest(0)
-	if len(body.Request) > 0 {
-		rdec := json.NewDecoder(bytes.NewReader(body.Request))
-		rdec.DisallowUnknownFields()
-		if err := rdec.Decode(&req); err != nil {
-			fail(w, fmt.Errorf("%w: request: %w", service.ErrInvalid, err))
-			return
-		}
+	req, err := decodeRequest(body.Request)
+	if err != nil {
+		fail(w, err)
+		return
 	}
-	ctx := r.Context()
-	if body.TimeoutMS > 0 {
-		d := time.Duration(body.TimeoutMS) * time.Millisecond
-		// Clamp to the server's -timeout so a client cannot pin workers
-		// past the operator's bound.
-		if a.maxTimeout > 0 && d > a.maxTimeout {
-			d = a.maxTimeout
-		}
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, d)
-		defer cancel()
+	ctx, cancel, err := a.deadlineCtx(r.Context(), body.TimeoutMS)
+	if err != nil {
+		fail(w, err)
+		return
 	}
+	defer cancel()
 	rep, err := a.svc.Solve(ctx, body.Graph, body.Algo, req)
 	if err != nil {
 		fail(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, solveResponse{Graph: body.Graph, Report: rep})
+}
+
+// batchBody is the batch-solve envelope: one graph, one optional
+// whole-batch timeout, many (algo, request) items.
+type batchBody struct {
+	Graph     string          `json:"graph"`
+	TimeoutMS int64           `json:"timeout_ms,omitempty"`
+	Items     []batchItemBody `json:"items"`
+}
+
+type batchItemBody struct {
+	Algo    string          `json:"algo"`
+	Request json.RawMessage `json:"request"`
+}
+
+// batchItemResult is one item's envelope: an HTTP-style status plus either
+// the report or the error, so a client can triage a mixed batch without
+// string-matching error text.
+type batchItemResult struct {
+	Status int          `json:"status"`
+	Algo   string       `json:"algo"`
+	Report *core.Report `json:"report,omitempty"`
+	Error  string       `json:"error,omitempty"`
+}
+
+type batchResponse struct {
+	Graph string            `json:"graph"`
+	Items []batchItemResult `json:"items"`
+}
+
+// solveBatch runs many solves against one resident graph in a single
+// round-trip. The response is positional — items[i] answers request item i
+// — and item failures are isolated: each carries its own status. Whole-
+// batch failures (malformed document, unknown graph, bad timeout) use the
+// uniform error envelope.
+func (a *api) solveBatch(w http.ResponseWriter, r *http.Request) {
+	var body batchBody
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, a.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		fail(w, fmt.Errorf("%w: %w", service.ErrInvalid, err))
+		return
+	}
+	items := make([]core.BatchItem, len(body.Items))
+	for i, it := range body.Items {
+		req, err := decodeRequest(it.Request)
+		if err != nil {
+			fail(w, fmt.Errorf("items[%d]: %w", i, err))
+			return
+		}
+		items[i] = core.BatchItem{Algo: it.Algo, Request: req}
+	}
+	ctx, cancel, err := a.deadlineCtx(r.Context(), body.TimeoutMS)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	defer cancel()
+	reports, err := a.svc.SolveBatch(ctx, body.Graph, items)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	resp := batchResponse{Graph: body.Graph, Items: make([]batchItemResult, len(reports))}
+	for i, br := range reports {
+		res := batchItemResult{Status: http.StatusOK, Algo: br.Algo, Report: br.Report, Error: br.Error}
+		if br.Err != nil {
+			res.Status = statusOf(br.Err)
+		}
+		resp.Items[i] = res
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -21,31 +24,49 @@ import (
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	svc := service.New(service.Config{DefaultTimeout: 30 * time.Second})
+	return newConfiguredServer(t, service.Config{DefaultTimeout: 30 * time.Second})
+}
+
+func newConfiguredServer(t *testing.T, cfg service.Config) *httptest.Server {
+	t.Helper()
+	svc := service.New(cfg)
 	ts := httptest.NewServer(newMux(svc, 64<<20, 30*time.Second))
-	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
 	return ts
 }
 
 func doJSON(t *testing.T, method, url, body string) (int, []byte) {
 	t.Helper()
-	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	status, blob, err := tryJSON(method, url, body)
 	if err != nil {
 		t.Fatal(err)
+	}
+	return status, blob
+}
+
+// tryJSON is the non-fatal variant for goroutines other than the test
+// goroutine, where t.Fatal's FailNow is illegal.
+func tryJSON(method, url, body string) (int, []byte, error) {
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		return 0, nil, err
 	}
 	if body != "" {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
-		t.Fatal(err)
+		return 0, nil, err
 	}
 	defer resp.Body.Close()
 	blob, err := io.ReadAll(resp.Body)
 	if err != nil {
-		t.Fatal(err)
+		return 0, nil, err
 	}
-	return resp.StatusCode, blob
+	return resp.StatusCode, blob, nil
 }
 
 func TestHealthz(t *testing.T) {
@@ -144,7 +165,10 @@ func TestBinaryUploadHTTP(t *testing.T) {
 func TestBodyLimits(t *testing.T) {
 	svc := service.New(service.Config{MaxNodes: 1000, MaxEdges: 10000})
 	ts := httptest.NewServer(newMux(svc, 1<<10, time.Second)) // 1 KiB body cap
-	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
 	big := fmt.Sprintf(`{"id":"x","graph":{"nodes":2,"interest":[1,2],"edges":[{"src":0,"dst":1}]},"pad":%q}`,
 		strings.Repeat("z", 4096))
 	if status, body := doJSON(t, "POST", ts.URL+"/v1/graphs", big); status != http.StatusRequestEntityTooLarge {
@@ -243,7 +267,10 @@ func TestSolveDeadlineHTTP(t *testing.T) {
 func TestTimeoutClampHTTP(t *testing.T) {
 	svc := service.New(service.Config{DefaultTimeout: 20 * time.Millisecond})
 	ts := httptest.NewServer(newMux(svc, 64<<20, 20*time.Millisecond))
-	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
 	if status, body := doJSON(t, "POST", ts.URL+"/v1/graphs",
 		`{"id":"big","generate":{"kind":"powerlaw","n":3000,"avgdeg":10,"seed":2}}`); status != http.StatusCreated {
 		t.Fatalf("generate: %d %s", status, body)
@@ -275,6 +302,9 @@ func TestSolveErrorsHTTP(t *testing.T) {
 		{"unknown request field", `{"graph":"g","algo":"dgreedy","request":{"k":5,"tuning":9}}`, http.StatusBadRequest},
 		{"malformed body", `{"graph":`, http.StatusBadRequest},
 		{"missing request k", `{"graph":"g","algo":"dgreedy"}`, http.StatusBadRequest},
+		// Validates clean but cannot produce a group — still the client's
+		// mistake (solver.ErrNoGroup → ErrInvalid), not a 500.
+		{"rgreedy zero samples", `{"graph":"g","algo":"rgreedy","request":{"k":5,"samples":0}}`, http.StatusBadRequest},
 	}
 	for _, tc := range cases {
 		if status, body := doJSON(t, "POST", ts.URL+"/v1/solve", tc.body); status != tc.want {
@@ -285,5 +315,356 @@ func TestSolveErrorsHTTP(t *testing.T) {
 	if status, body := doJSON(t, "POST", ts.URL+"/v1/solve",
 		`{"graph":"g","algo":"cbas","request":{"k":5,"samples":0}}`); status != http.StatusOK {
 		t.Errorf("zero samples: %d %s, want 200", status, body)
+	}
+}
+
+// TestStatusOf: the error→status table. Client-caused sentinels map to
+// their 4xx codes; anything unrecognized is a server fault and maps to
+// 500, not the 400 that used to mislabel it.
+func TestStatusOf(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"invalid", service.ErrInvalid, http.StatusBadRequest},
+		{"wrapped invalid", fmt.Errorf("%w: bad k", service.ErrInvalid), http.StatusBadRequest},
+		{"not found", fmt.Errorf("%w: %q", service.ErrNotFound, "g"), http.StatusNotFound},
+		{"exists", fmt.Errorf("%w: %q", service.ErrExists, "g"), http.StatusConflict},
+		{"deadline", context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{"wrapped deadline", fmt.Errorf("solve: %w", context.DeadlineExceeded), http.StatusGatewayTimeout},
+		{"canceled", context.Canceled, 499},
+		{"too big", &http.MaxBytesError{Limit: 10}, http.StatusRequestEntityTooLarge},
+		{"too big wrapped in invalid", fmt.Errorf("%w: %w", service.ErrInvalid, &http.MaxBytesError{Limit: 10}), http.StatusRequestEntityTooLarge},
+		{"server fault", errors.New("pool exploded"), http.StatusInternalServerError},
+		{"wrapped server fault", fmt.Errorf("solver: %w", errors.New("oom")), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		if got := statusOf(tc.err); got != tc.want {
+			t.Errorf("statusOf(%s) = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestNegativeTimeoutHTTP: a negative timeout_ms is a client error on both
+// solve endpoints — it used to be silently ignored, running with no
+// per-request deadline.
+func TestNegativeTimeoutHTTP(t *testing.T) {
+	ts := newTestServer(t)
+	if status, body := doJSON(t, "POST", ts.URL+"/v1/graphs",
+		`{"id":"g","generate":{"kind":"er","n":50,"avgdeg":4,"seed":1}}`); status != http.StatusCreated {
+		t.Fatalf("generate: %d %s", status, body)
+	}
+	status, body := doJSON(t, "POST", ts.URL+"/v1/solve",
+		`{"graph":"g","algo":"dgreedy","timeout_ms":-5,"request":{"k":5}}`)
+	if status != http.StatusBadRequest || !strings.Contains(string(body), "timeout_ms") {
+		t.Errorf("negative timeout solve: %d %s, want 400", status, body)
+	}
+	status, body = doJSON(t, "POST", ts.URL+"/v1/solve/batch",
+		`{"graph":"g","timeout_ms":-1,"items":[{"algo":"dgreedy","request":{"k":5}}]}`)
+	if status != http.StatusBadRequest || !strings.Contains(string(body), "timeout_ms") {
+		t.Errorf("negative timeout batch: %d %s, want 400", status, body)
+	}
+}
+
+// TestBinaryUploadIDChecks: the binary path validates the id before paying
+// graph.Decode — an empty or duplicate ?id= with an undecodable body
+// reports the id error, proving Decode never ran.
+func TestBinaryUploadIDChecks(t *testing.T) {
+	ts := newTestServer(t)
+	post := func(url string) (int, string) {
+		resp, err := http.Post(url, "application/octet-stream", strings.NewReader("not a waso graph"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		blob, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(blob)
+	}
+	if status, body := post(ts.URL + "/v1/graphs"); status != http.StatusBadRequest ||
+		!strings.Contains(body, "empty graph id") {
+		t.Errorf("empty id: %d %s, want 400 naming the id", status, body)
+	}
+	if status, body := doJSON(t, "POST", ts.URL+"/v1/graphs",
+		`{"id":"dup","generate":{"kind":"er","n":20,"avgdeg":2,"seed":1}}`); status != http.StatusCreated {
+		t.Fatalf("generate: %d %s", status, body)
+	}
+	// A taken id conflicts (409) before the corrupt body is decoded — a
+	// decode-first path would have answered 400.
+	if status, body := post(ts.URL + "/v1/graphs?id=dup"); status != http.StatusConflict {
+		t.Errorf("duplicate id: %d %s, want 409", status, body)
+	}
+}
+
+// TestSolveBatchHTTP: the batch endpoint answers positionally with
+// per-item statuses, item failures are isolated, and successful items are
+// bit-identical to their single-solve counterparts.
+func TestSolveBatchHTTP(t *testing.T) {
+	ts := newTestServer(t)
+	if status, body := doJSON(t, "POST", ts.URL+"/v1/graphs",
+		`{"id":"g","generate":{"kind":"powerlaw","n":400,"avgdeg":8,"seed":5}}`); status != http.StatusCreated {
+		t.Fatalf("generate: %d %s", status, body)
+	}
+	status, body := doJSON(t, "POST", ts.URL+"/v1/solve/batch",
+		`{"graph":"g","items":[
+			{"algo":"cbas","request":{"k":10,"samples":30,"seed":42}},
+			{"algo":"oracle","request":{"k":5}},
+			{"algo":"cbasnd","request":{"k":0}},
+			{"algo":"dgreedy","request":{"k":6}}
+		]}`)
+	if status != http.StatusOK {
+		t.Fatalf("batch: %d %s", status, body)
+	}
+	var got struct {
+		Graph string `json:"graph"`
+		Items []struct {
+			Status int          `json:"status"`
+			Algo   string       `json:"algo"`
+			Report *core.Report `json:"report"`
+			Error  string       `json:"error"`
+		} `json:"items"`
+	}
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Items) != 4 {
+		t.Fatalf("got %d items, want 4", len(got.Items))
+	}
+	if got.Items[1].Status != http.StatusBadRequest || got.Items[1].Error == "" {
+		t.Errorf("unknown algo item: %+v", got.Items[1])
+	}
+	if got.Items[2].Status != http.StatusBadRequest {
+		t.Errorf("invalid request item: %+v", got.Items[2])
+	}
+	for _, i := range []int{0, 3} {
+		if got.Items[i].Status != http.StatusOK || got.Items[i].Report == nil {
+			t.Fatalf("item %d: %+v", i, got.Items[i])
+		}
+	}
+
+	// Item 0 must match the single-solve path bit for bit.
+	status, single := doJSON(t, "POST", ts.URL+"/v1/solve",
+		`{"graph":"g","algo":"cbas","request":{"k":10,"samples":30,"seed":42}}`)
+	if status != http.StatusOK {
+		t.Fatalf("single solve: %d %s", status, single)
+	}
+	var want solveResponse
+	if err := json.Unmarshal(single, &want); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Items[0].Report.Best.Equal(want.Report.Best) ||
+		got.Items[0].Report.Best.Willingness != want.Report.Best.Willingness {
+		t.Errorf("batch item %v != single solve %v", got.Items[0].Report.Best, want.Report.Best)
+	}
+
+	// Whole-batch errors use the uniform envelope.
+	if status, _ := doJSON(t, "POST", ts.URL+"/v1/solve/batch",
+		`{"graph":"nope","items":[{"algo":"dgreedy","request":{"k":5}}]}`); status != http.StatusNotFound {
+		t.Errorf("unknown graph batch: %d, want 404", status)
+	}
+	if status, _ := doJSON(t, "POST", ts.URL+"/v1/solve/batch",
+		`{"graph":"g","items":[]}`); status != http.StatusBadRequest {
+		t.Errorf("empty batch: %d, want 400", status)
+	}
+	if status, body := doJSON(t, "POST", ts.URL+"/v1/solve/batch",
+		`{"graph":"g","items":[{"algo":"cbas","request":{"k":5,"bogus":1}}]}`); status != http.StatusBadRequest ||
+		!strings.Contains(string(body), "items[0]") {
+		t.Errorf("malformed item: %d %s, want 400 naming the item", status, body)
+	}
+}
+
+// TestRegionCacheDisabledHTTP: a server with region caching disabled
+// (MaxRegions < 0, the -maxregions=-1 operator setting) still serves
+// solves correctly.
+func TestRegionCacheDisabledHTTP(t *testing.T) {
+	ts := newConfiguredServer(t, service.Config{DefaultTimeout: 30 * time.Second, MaxRegions: -1})
+	if status, body := doJSON(t, "POST", ts.URL+"/v1/graphs",
+		`{"id":"g","generate":{"kind":"er","n":400,"avgdeg":2,"seed":3}}`); status != http.StatusCreated {
+		t.Fatalf("generate: %d %s", status, body)
+	}
+	status, body := doJSON(t, "POST", ts.URL+"/v1/solve",
+		`{"graph":"g","algo":"cbasnd","request":{"k":4,"samples":20,"seed":9}}`)
+	if status != http.StatusOK {
+		t.Fatalf("solve without region cache: %d %s", status, body)
+	}
+}
+
+// TestConcurrentServingHTTP is the race-enabled serving test: many
+// simultaneous /v1/solve and /v1/solve/batch requests against one graph,
+// every 200 response compared bit-for-bit against the sequential
+// reference, while the target graph is evicted mid-flight (in-flight
+// solves hold their own references; late requests may 404 but nothing may
+// panic or diverge).
+func TestConcurrentServingHTTP(t *testing.T) {
+	ts := newTestServer(t)
+	if status, body := doJSON(t, "POST", ts.URL+"/v1/graphs",
+		`{"id":"g","generate":{"kind":"powerlaw","n":400,"avgdeg":8,"seed":5}}`); status != http.StatusCreated {
+		t.Fatalf("generate: %d %s", status, body)
+	}
+
+	// Sequential references for every (algo, k, seed) the storm uses.
+	spec := gen.Spec{Kind: "powerlaw", N: 400, AvgDeg: 8, Seed: 5}
+	g, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct {
+		algo string
+		k    int
+		seed uint64
+	}
+	refs := map[key]core.Solution{}
+	for _, algo := range []string{"cbas", "cbasnd", "dgreedy"} {
+		for _, k := range []int{4, 8} {
+			req := core.DefaultRequest(k)
+			req.Samples = 20
+			req.Seed = uint64(k)
+			sv, err := solver.New(algo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := sv.Solve(context.Background(), g, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refs[key{algo, k, uint64(k)}] = rep.Best
+		}
+	}
+	checkBest := func(algo string, k int, got core.Solution) error {
+		want := refs[key{algo, k, uint64(k)}]
+		if !got.Equal(want) || got.Willingness != want.Willingness {
+			return fmt.Errorf("%s k=%d: concurrent %v != sequential %v", algo, k, got, want)
+		}
+		return nil
+	}
+
+	var ok200 atomic.Int64
+	errCh := make(chan error, 64)
+	var clients sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		clients.Add(1)
+		go func(i int) {
+			defer clients.Done()
+			algo := []string{"cbas", "cbasnd", "dgreedy"}[i%3]
+			k := []int{4, 8}[i%2]
+			if i%4 == 0 {
+				// Batch request mixing both ks of one algo.
+				status, body, err := tryJSON("POST", ts.URL+"/v1/solve/batch", fmt.Sprintf(
+					`{"graph":"g","items":[
+						{"algo":%[1]q,"request":{"k":4,"samples":20,"seed":4}},
+						{"algo":%[1]q,"request":{"k":8,"samples":20,"seed":8}}
+					]}`, algo))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if status == http.StatusNotFound {
+					return // evicted before this batch started
+				}
+				if status != http.StatusOK {
+					errCh <- fmt.Errorf("batch %s: %d %s", algo, status, body)
+					return
+				}
+				var got struct {
+					Items []struct {
+						Status int          `json:"status"`
+						Report *core.Report `json:"report"`
+						Error  string       `json:"error"`
+					} `json:"items"`
+				}
+				if err := json.Unmarshal(body, &got); err != nil {
+					errCh <- err
+					return
+				}
+				for j, item := range got.Items {
+					if item.Status == http.StatusNotFound {
+						continue
+					}
+					if item.Status != http.StatusOK || item.Report == nil {
+						errCh <- fmt.Errorf("batch %s item %d: %+v", algo, j, item)
+						return
+					}
+					if err := checkBest(algo, []int{4, 8}[j], item.Report.Best); err != nil {
+						errCh <- err
+						return
+					}
+					ok200.Add(1)
+				}
+				return
+			}
+			status, body, err := tryJSON("POST", ts.URL+"/v1/solve", fmt.Sprintf(
+				`{"graph":"g","algo":%q,"request":{"k":%d,"samples":20,"seed":%d}}`, algo, k, k))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if status == http.StatusNotFound {
+				return
+			}
+			if status != http.StatusOK {
+				errCh <- fmt.Errorf("solve %s k=%d: %d %s", algo, k, status, body)
+				return
+			}
+			var got solveResponse
+			if err := json.Unmarshal(body, &got); err != nil {
+				errCh <- err
+				return
+			}
+			if err := checkBest(algo, k, got.Report.Best); err != nil {
+				errCh <- err
+				return
+			}
+			ok200.Add(1)
+		}(i)
+	}
+	clientsDone := make(chan struct{})
+	go func() {
+		clients.Wait()
+		close(clientsDone)
+	}()
+	// Churn other graphs and evict the target mid-flight.
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for i := 0; i < 4; i++ {
+			id := fmt.Sprintf("churn%d", i)
+			status, body, err := tryJSON("POST", ts.URL+"/v1/graphs", fmt.Sprintf(
+				`{"id":%q,"generate":{"kind":"er","n":60,"avgdeg":4,"seed":1}}`, id))
+			if err != nil || status != http.StatusCreated {
+				errCh <- fmt.Errorf("churn generate: %d %s %v", status, body, err)
+				return
+			}
+			if status, _, err := tryJSON("DELETE", ts.URL+"/v1/graphs/"+id, ""); err != nil || status != http.StatusNoContent {
+				errCh <- fmt.Errorf("churn evict %s failed: %d %v", id, status, err)
+				return
+			}
+		}
+		// Evict the target only after at least one solve completed, so the
+		// "exercised nothing" guard below cannot flake on a slow runner
+		// where the cheap churn requests outrun every solve — but stop
+		// waiting once every client has finished, so a regression that
+		// fails all clients surfaces their errors instead of hanging here.
+	wait:
+		for ok200.Load() == 0 {
+			select {
+			case <-clientsDone:
+				break wait
+			default:
+				time.Sleep(time.Millisecond)
+			}
+		}
+		if status, _, err := tryJSON("DELETE", ts.URL+"/v1/graphs/g", ""); err != nil || status != http.StatusNoContent {
+			errCh <- fmt.Errorf("mid-flight evict of g failed: %d %v", status, err)
+		}
+	}()
+	<-clientsDone
+	churn.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if ok200.Load() == 0 {
+		t.Error("no request completed before eviction — the test exercised nothing")
 	}
 }

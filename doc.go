@@ -26,15 +26,24 @@
 //	          precomputed NodeScore ranking across calls (per-call solves
 //	          build a partial top-t ranking instead of sorting the
 //	          graph), WithWorkspacePool recycles per-worker scratch
-//	          buffers, and WithRegionCache shares a bounded LRU of
-//	          extracted (start, radius) regions.
+//	          buffers, WithRegionCache shares a bounded LRU of extracted
+//	          (start, radius) regions, and WithExecutor schedules a
+//	          solve's tasks on a shared bounded Executor — one goroutine
+//	          pool for the whole process, drained fairly across
+//	          concurrent solves — instead of a private per-call pool.
 //	service — the serving layer: concurrency-safe in-memory graph store
 //	          (load/generate/evict) holding one solver.Prep, one
-//	          workspace pool and one region cache per graph, and the
-//	          Solve orchestrator with per-request deadlines.
-//	cmd     — the front ends over the same Request path: cmd/waso (batch
-//	          experiment harness), cmd/wasod (JSON HTTP server), and
-//	          cmd/wasobench (large-graph scaling benchmark harness).
+//	          workspace pool and one region cache per graph, one
+//	          process-wide solver.Executor every request runs on, and
+//	          the Solve/SolveBatch orchestrators with per-request
+//	          deadlines (batch items run concurrently and fail
+//	          independently, with answers bit-identical to sequential
+//	          single solves).
+//	cmd     — the front ends over the same Request path: cmd/waso
+//	          (experiment harness and -batch item runner), cmd/wasod
+//	          (JSON HTTP server incl. POST /v1/solve/batch), and
+//	          cmd/wasobench (large-graph scaling benchmarks and the
+//	          -throughput serving replay).
 //
 // gen (synthetic instances, §5) feeds graphs into cmd and service;
 // sampling/rng/bitset/stats are the shared substrate.

@@ -12,6 +12,8 @@
 package core
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -118,6 +120,24 @@ func DefaultRequest(k int) Request {
 	}
 }
 
+// DecodeRequest decodes a JSON request document over DefaultRequest(0)
+// with unknown fields rejected: absent fields keep the paper defaults,
+// explicit zeros mean what they say, and typos fail loudly. This is the
+// one transport-side decoding rule — wasod solve/batch bodies and waso
+// -batch items all parse through it, so the front ends cannot drift. An
+// empty document yields the plain defaults (K = 0, caught by Validate).
+func DecodeRequest(raw []byte) (Request, error) {
+	req := DefaultRequest(0)
+	if len(raw) > 0 {
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return req, err
+		}
+	}
+	return req, nil
+}
+
 // Validate reports the first field a solver could not faithfully execute.
 func (r Request) Validate() error {
 	if r.K < 1 {
@@ -162,6 +182,29 @@ type Report struct {
 // ElapsedMillis returns the wall-clock solve time in milliseconds.
 func (r Report) ElapsedMillis() float64 {
 	return float64(r.Elapsed.Microseconds()) / 1000
+}
+
+// BatchItem is one solve of a batch: the algorithm name plus its fully
+// specified Request. A batch runs many (algo, k, budget) queries against
+// one resident graph in a single round-trip — the paper's per-graph
+// configuration sweeps, and the scale-adaptive serving pattern of many
+// small queries per graph — amortizing the graph's shared state (ranking,
+// workspace pool, region cache) and the scheduler attachment across all of
+// them.
+type BatchItem struct {
+	Algo    string  `json:"algo"`
+	Request Request `json:"request"`
+}
+
+// BatchReport is the outcome of one BatchItem: exactly one of Report or
+// Error is set. Items fail independently — one bad item never aborts its
+// batch. Err preserves the typed error for in-process callers (transports
+// map it to a per-item status code); Error is its wire rendering.
+type BatchReport struct {
+	Algo   string  `json:"algo"`
+	Report *Report `json:"report,omitempty"`
+	Error  string  `json:"error,omitempty"`
+	Err    error   `json:"-"`
 }
 
 // Solution is a candidate activity group: the attendee set F and its

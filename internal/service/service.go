@@ -8,6 +8,14 @@
 // (k, budget) queries against one graph cheap, per the scale-adaptive
 // serving model of Shuai et al.
 //
+// The service also owns one shared solver.Executor — a single goroutine
+// pool sized to GOMAXPROCS — and routes every Solve and SolveBatch through
+// it, so total solver goroutines stay bounded no matter how many requests
+// are in flight; without it each solve would spin a private pool and N
+// concurrent requests would oversubscribe the CPU N-fold. SolveBatch runs
+// many (algo, request) items against one graph in a single call, items
+// scheduled concurrently and failing independently.
+//
 // Layering: core (DTOs) → graph → solver → service → cmd/wasod. The service
 // owns graph lifetime (load/generate/evict) and per-request deadlines; it
 // knows nothing about HTTP.
@@ -89,13 +97,29 @@ type entry struct {
 type Service struct {
 	cfg Config
 
+	// exec is the server-wide solve scheduler: one goroutine pool sized to
+	// GOMAXPROCS that every Solve and SolveBatch runs on, so total solver
+	// goroutines stay bounded no matter how many requests are in flight.
+	exec *solver.Executor
+
 	mu     sync.RWMutex
 	graphs map[string]*entry
 }
 
-// New returns an empty Service.
+// New returns an empty Service. Close releases its shared executor.
 func New(cfg Config) *Service {
-	return &Service{cfg: cfg, graphs: make(map[string]*entry)}
+	return &Service{
+		cfg:    cfg,
+		exec:   solver.NewExecutor(0),
+		graphs: make(map[string]*entry),
+	}
+}
+
+// Close stops the shared solve executor after draining in-flight work. The
+// store itself needs no teardown; solves issued after Close still complete
+// on private per-call pools.
+func (s *Service) Close() {
+	s.exec.Close()
 }
 
 // Load stores g under id, precomputing its NodeScore ranking. The source
@@ -153,6 +177,18 @@ func (s *Service) admit(id string) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.admitLocked(id)
+}
+
+// AdmitID reports whether id could currently be admitted as a new graph:
+// non-empty, not already resident, and within the resident-graph cap.
+// Transports call it before paying to decode a large upload body; the
+// answer is advisory under races — Load re-checks authoritatively under
+// the write lock.
+func (s *Service) AdmitID(id string) error {
+	if id == "" {
+		return fmt.Errorf("%w: empty graph id", ErrInvalid)
+	}
+	return s.admit(id)
 }
 
 // admitLocked checks duplicate ids and the resident-graph cap. Callers
@@ -246,18 +282,45 @@ func (s *Service) Evict(id string) error {
 	return nil
 }
 
-// Solve runs the named algorithm against the stored graph, sharing the
-// graph's precomputed ranking, recycled workspace pool and search-region
-// cache, and applying the configured default timeout when ctx carries no
-// deadline. Cancellation and deadline errors pass through as ctx.Err()
-// values (context.Canceled, context.DeadlineExceeded).
-func (s *Service) Solve(ctx context.Context, graphID, algo string, req core.Request) (core.Report, error) {
+// entryFor returns the resident entry for graphID.
+func (s *Service) entryFor(graphID string) (*entry, error) {
 	s.mu.RLock()
 	e := s.graphs[graphID]
 	s.mu.RUnlock()
 	if e == nil {
-		return core.Report{}, fmt.Errorf("%w: %q", ErrNotFound, graphID)
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, graphID)
 	}
+	return e, nil
+}
+
+// withDeadline applies the configured default timeout when ctx carries no
+// deadline of its own. The returned cancel must always be called.
+func (s *Service) withDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if s.cfg.DefaultTimeout > 0 {
+		if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+			return context.WithTimeout(ctx, s.cfg.DefaultTimeout)
+		}
+	}
+	return ctx, func() {}
+}
+
+// withShared attaches the graph's shared per-graph state — precomputed
+// ranking, recycled workspace pool, search-region cache — and the
+// service-wide solve executor to ctx. One attachment pass serves every
+// solve dispatched on the returned context.
+func (s *Service) withShared(ctx context.Context, e *entry) context.Context {
+	ctx = solver.WithExecutor(ctx, s.exec)
+	ctx = solver.WithPrep(ctx, e.prep)
+	ctx = solver.WithWorkspacePool(ctx, e.pool)
+	if e.regions != nil {
+		ctx = solver.WithRegionCache(ctx, e.regions)
+	}
+	return ctx
+}
+
+// solveEntry validates and runs one (algo, req) against a resident entry
+// whose shared state is already on ctx.
+func (s *Service) solveEntry(ctx context.Context, e *entry, algo string, req core.Request) (core.Report, error) {
 	sv, err := solver.New(algo)
 	if err != nil {
 		return core.Report{}, fmt.Errorf("%w: %v", ErrInvalid, err)
@@ -273,17 +336,96 @@ func (s *Service) Solve(ctx context.Context, graphID, algo string, req core.Requ
 	if req.Region == core.RegionAlways {
 		req.Region = core.RegionAuto
 	}
-	if s.cfg.DefaultTimeout > 0 {
-		if _, hasDeadline := ctx.Deadline(); !hasDeadline {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, s.cfg.DefaultTimeout)
-			defer cancel()
-		}
+	rep, err := sv.Solve(ctx, e.g, req)
+	if errors.Is(err, solver.ErrNoGroup) {
+		// A validated request the solver still cannot answer (e.g. rgreedy
+		// with a zero sample budget) is a client mistake, not a server
+		// fault — keep it in the invalid-argument family for transports.
+		return rep, fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
-	ctx = solver.WithPrep(ctx, e.prep)
-	ctx = solver.WithWorkspacePool(ctx, e.pool)
-	if e.regions != nil {
-		ctx = solver.WithRegionCache(ctx, e.regions)
+	return rep, err
+}
+
+// Solve runs the named algorithm against the stored graph, sharing the
+// graph's precomputed ranking, recycled workspace pool and search-region
+// cache, scheduling its work on the service-wide executor, and applying
+// the configured default timeout when ctx carries no deadline.
+// Cancellation and deadline errors pass through as ctx.Err() values
+// (context.Canceled, context.DeadlineExceeded).
+func (s *Service) Solve(ctx context.Context, graphID, algo string, req core.Request) (core.Report, error) {
+	e, err := s.entryFor(graphID)
+	if err != nil {
+		return core.Report{}, err
 	}
-	return sv.Solve(ctx, e.g, req)
+	ctx, cancel := s.withDeadline(ctx)
+	defer cancel()
+	return s.solveEntry(s.withShared(ctx, e), e, algo, req)
+}
+
+// batchCoordinators bounds the goroutines that dispatch batch items. Each
+// coordinator plays the role one HTTP handler goroutine plays for a single
+// solve: it runs the per-solve setup (validation, region planning against
+// the shared cache) and outcome reduction inline, and blocks for the
+// solve's duration while the sampling work itself runs on the shared
+// executor. A small multiple of the pool keeps the executor saturated
+// without spawning one goroutine per item of an arbitrarily large batch.
+func (s *Service) batchCoordinators(items int) int {
+	n := 4 * s.exec.Workers()
+	if items < n {
+		n = items
+	}
+	return n
+}
+
+// SolveBatch runs every item against the stored graph, attaching the
+// graph's shared state (ranking, workspace pool, region cache) and the
+// service-wide executor once for the whole batch. Items are scheduled
+// concurrently onto the shared pool and fail independently: a bad
+// algorithm or request in one item yields an error in that item's
+// BatchReport and touches nothing else. The whole call errors only when
+// the batch itself is unusable (unknown graph, empty batch). The
+// configured default timeout, when ctx has no deadline, bounds the batch
+// as a whole.
+//
+// Results are positional: out[i] answers items[i], and each Report.Best is
+// bit-identical to a sequential Service.Solve of the same item — the
+// executor and batch scheduling never affect answers.
+func (s *Service) SolveBatch(ctx context.Context, graphID string, items []core.BatchItem) ([]core.BatchReport, error) {
+	if len(items) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrInvalid)
+	}
+	e, err := s.entryFor(graphID)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := s.withDeadline(ctx)
+	defer cancel()
+	ctx = s.withShared(ctx, e)
+
+	out := make([]core.BatchReport, len(items))
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < s.batchCoordinators(len(items)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				br := core.BatchReport{Algo: items[i].Algo}
+				rep, err := s.solveEntry(ctx, e, items[i].Algo, items[i].Request)
+				if err != nil {
+					br.Err = err
+					br.Error = err.Error()
+				} else {
+					br.Report = &rep
+				}
+				out[i] = br
+			}
+		}()
+	}
+	for i := range items {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	return out, nil
 }

@@ -17,8 +17,18 @@ func testSpec(n int) gen.Spec {
 	return gen.Spec{Kind: "powerlaw", N: n, AvgDeg: 8, Seed: 1}
 }
 
+// newTestService constructs a Service and releases its executor workers at
+// test cleanup — New spawns goroutines, so every test must pair it with
+// Close, exactly as library consumers should.
+func newTestService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	s := New(cfg)
+	t.Cleanup(s.Close)
+	return s
+}
+
 func TestStoreLifecycle(t *testing.T) {
-	s := New(Config{})
+	s := newTestService(t, Config{})
 	info, err := s.Generate("g1", testSpec(200))
 	if err != nil {
 		t.Fatal(err)
@@ -64,7 +74,7 @@ func TestStoreLifecycle(t *testing.T) {
 }
 
 func TestMaxGraphs(t *testing.T) {
-	s := New(Config{MaxGraphs: 1})
+	s := newTestService(t, Config{MaxGraphs: 1})
 	if _, err := s.Generate("g1", testSpec(50)); err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +92,7 @@ func TestMaxGraphs(t *testing.T) {
 // TestMaxNodes: the node cap rejects oversized generate specs before the
 // build runs, and oversized uploads at Load.
 func TestMaxNodes(t *testing.T) {
-	s := New(Config{MaxNodes: 100})
+	s := newTestService(t, Config{MaxNodes: 100})
 	if _, err := s.Generate("big", testSpec(101)); !errors.Is(err, ErrInvalid) {
 		t.Errorf("over-cap generate: err = %v, want ErrInvalid", err)
 	}
@@ -93,7 +103,7 @@ func TestMaxNodes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	small := New(Config{MaxNodes: 50})
+	small := newTestService(t, Config{MaxNodes: 50})
 	if _, err := small.Load("up", g, "upload"); !errors.Is(err, ErrInvalid) {
 		t.Errorf("over-cap load: err = %v, want ErrInvalid", err)
 	}
@@ -102,7 +112,7 @@ func TestMaxNodes(t *testing.T) {
 	if _, err := s.LoadEdgeList("doc", graph.EdgeListJSON{Nodes: 101}); !errors.Is(err, ErrInvalid) {
 		t.Errorf("over-cap edge-list nodes: err = %v, want ErrInvalid", err)
 	}
-	dense := New(Config{MaxEdges: 1})
+	dense := newTestService(t, Config{MaxEdges: 1})
 	if _, err := dense.LoadEdgeList("doc", graph.EdgeListJSON{
 		Nodes: 3,
 		Edges: []graph.EdgeListEdge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}},
@@ -121,7 +131,7 @@ func TestMaxNodes(t *testing.T) {
 // exercise workspace reuse: the second pass must reproduce the first.
 func TestSolveMatchesDirect(t *testing.T) {
 	ctx := context.Background()
-	s := New(Config{})
+	s := newTestService(t, Config{})
 	if _, err := s.Generate("g", testSpec(500)); err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +175,7 @@ func TestSolveMatchesDirect(t *testing.T) {
 // its direct-solver result.
 func TestPooledWorkspacesAcrossRequests(t *testing.T) {
 	ctx := context.Background()
-	s := New(Config{})
+	s := newTestService(t, Config{})
 	if _, err := s.Generate("g", testSpec(400)); err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +221,7 @@ func TestRegionCachedSolves(t *testing.T) {
 	ctx := context.Background()
 	spec := gen.Spec{Kind: "er", N: 500, AvgDeg: 2, Seed: 3} // sparse: auto mode extracts real regions
 	for _, cfg := range []Config{{}, {MaxRegions: 2}, {MaxRegions: -1}} {
-		s := New(cfg)
+		s := newTestService(t, cfg)
 		if _, err := s.Generate("g", spec); err != nil {
 			t.Fatal(err)
 		}
@@ -249,7 +259,7 @@ func TestRegionCachedSolves(t *testing.T) {
 
 func TestSolveErrors(t *testing.T) {
 	ctx := context.Background()
-	s := New(Config{})
+	s := newTestService(t, Config{})
 	if _, err := s.Generate("g", testSpec(100)); err != nil {
 		t.Fatal(err)
 	}
@@ -262,12 +272,20 @@ func TestSolveErrors(t *testing.T) {
 	if _, err := s.Solve(ctx, "g", "dgreedy", core.DefaultRequest(0)); !errors.Is(err, ErrInvalid) {
 		t.Errorf("invalid request: err = %v, want ErrInvalid", err)
 	}
+	// A validated request the solver cannot answer (rgreedy with a zero
+	// sample budget) stays in the invalid-argument family so transports
+	// report a client error, not a server fault.
+	zero := core.DefaultRequest(5)
+	zero.Samples = 0
+	if _, err := s.Solve(ctx, "g", "rgreedy", zero); !errors.Is(err, ErrInvalid) {
+		t.Errorf("rgreedy zero samples: err = %v, want ErrInvalid", err)
+	}
 }
 
 // TestSolveDefaultTimeout: a service-level default timeout bounds requests
 // that carry no deadline of their own.
 func TestSolveDefaultTimeout(t *testing.T) {
-	s := New(Config{DefaultTimeout: time.Millisecond})
+	s := newTestService(t, Config{DefaultTimeout: time.Millisecond})
 	if _, err := s.Generate("g", testSpec(2000)); err != nil {
 		t.Fatal(err)
 	}
@@ -286,12 +304,129 @@ func TestSolveDefaultTimeout(t *testing.T) {
 	}
 }
 
+// TestSolveBatch: every batch item's Report.Best is bit-identical to a
+// sequential direct solve of the same (algo, request) — batch scheduling
+// and the shared executor never affect answers — and results are
+// positional.
+func TestSolveBatch(t *testing.T) {
+	ctx := context.Background()
+	s := newTestService(t, Config{})
+	if _, err := s.Generate("g", testSpec(500)); err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := s.Get("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var items []core.BatchItem
+	for _, algo := range solver.Names() {
+		for _, k := range []int{4, 10} {
+			r := core.DefaultRequest(k)
+			r.Samples = 25
+			r.Seed = uint64(7 * k)
+			items = append(items, core.BatchItem{Algo: algo, Request: r})
+		}
+	}
+	out, err := s.SolveBatch(ctx, "g", items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(items) {
+		t.Fatalf("got %d reports for %d items", len(out), len(items))
+	}
+	for i, br := range out {
+		if br.Err != nil || br.Report == nil {
+			t.Fatalf("item %d (%s): err = %v", i, items[i].Algo, br.Err)
+		}
+		if br.Algo != items[i].Algo {
+			t.Errorf("item %d: algo %q, want %q", i, br.Algo, items[i].Algo)
+		}
+		sv, err := solver.New(items[i].Algo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sv.Solve(ctx, g, items[i].Request)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !br.Report.Best.Equal(want.Best) || br.Report.Best.Willingness != want.Best.Willingness ||
+			br.Report.SamplesDrawn != want.SamplesDrawn {
+			t.Errorf("item %d (%s): batch %v != direct %v", i, items[i].Algo, br.Report.Best, want.Best)
+		}
+	}
+}
+
+// TestSolveBatchItemErrors: bad items fail independently with their typed
+// error preserved; good items in the same batch still solve.
+func TestSolveBatchItemErrors(t *testing.T) {
+	ctx := context.Background()
+	s := newTestService(t, Config{})
+	if _, err := s.Generate("g", testSpec(100)); err != nil {
+		t.Fatal(err)
+	}
+	good := core.DefaultRequest(5)
+	good.Samples = 5
+	items := []core.BatchItem{
+		{Algo: "dgreedy", Request: good},
+		{Algo: "oracle", Request: good},
+		{Algo: "cbas", Request: core.DefaultRequest(0)}, // invalid k
+		{Algo: "cbas", Request: good},
+	}
+	out, err := s.SolveBatch(ctx, "g", items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Err != nil || out[0].Report == nil {
+		t.Errorf("item 0: %v", out[0].Err)
+	}
+	if !errors.Is(out[1].Err, ErrInvalid) || out[1].Error == "" || out[1].Report != nil {
+		t.Errorf("unknown algo item: %+v", out[1])
+	}
+	if !errors.Is(out[2].Err, ErrInvalid) || out[2].Report != nil {
+		t.Errorf("invalid request item: %+v", out[2])
+	}
+	if out[3].Err != nil || out[3].Report == nil {
+		t.Errorf("item 3: %v", out[3].Err)
+	}
+
+	if _, err := s.SolveBatch(ctx, "g", nil); !errors.Is(err, ErrInvalid) {
+		t.Errorf("empty batch: err = %v, want ErrInvalid", err)
+	}
+	if _, err := s.SolveBatch(ctx, "missing", items); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown graph: err = %v, want ErrNotFound", err)
+	}
+}
+
+// TestSolveBatchTimeout: the default timeout bounds the batch as a whole —
+// oversized items surface per-item deadline errors, not a hung call.
+func TestSolveBatchTimeout(t *testing.T) {
+	s := newTestService(t, Config{DefaultTimeout: time.Millisecond})
+	if _, err := s.Generate("g", testSpec(2000)); err != nil {
+		t.Fatal(err)
+	}
+	big := core.DefaultRequest(20)
+	big.Samples = 1 << 20
+	big.Prune = false
+	out, err := s.SolveBatch(context.Background(), "g", []core.BatchItem{
+		{Algo: "cbasnd", Request: big},
+		{Algo: "cbasnd", Request: big},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, br := range out {
+		if !errors.Is(br.Err, context.DeadlineExceeded) {
+			t.Errorf("item %d: err = %v, want context.DeadlineExceeded", i, br.Err)
+		}
+	}
+}
+
 // TestConcurrentSolves exercises the RWMutex store and the shared Prep
 // under -race: many goroutines solving against the same graph while others
 // load and evict unrelated graphs.
 func TestConcurrentSolves(t *testing.T) {
 	ctx := context.Background()
-	s := New(Config{})
+	s := newTestService(t, Config{})
 	if _, err := s.Generate("shared", testSpec(300)); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,210 @@
+package solver
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Executor is a process-wide, bounded solve scheduler: one goroutine pool —
+// sized to GOMAXPROCS by default — that every Solve whose context carries it
+// (WithExecutor) draws workers from, instead of spawning a private pool per
+// call. N concurrent solves on a private-pool path run N×GOMAXPROCS
+// goroutines and oversubscribe the CPU N-fold; through a shared Executor the
+// total stays at the pool size no matter how many solves are in flight.
+//
+// Scheduling is fair: each solve submits its (start, sample-chunk) task
+// queue as one job, and idle workers drain the active jobs round-robin, one
+// task at a time, so a burst of small (k, budget) queries keeps making
+// progress beside a long-running solve instead of queueing behind it. A
+// job's parallelism is additionally capped at the solve's own clamped
+// Workers value, so Request.Workers keeps its meaning (an upper bound on one
+// solve's parallelism) on the shared pool.
+//
+// Cancellation is per solve: tasks of a cancelled job observe their own
+// context and complete as no-ops, so one client disconnecting never stalls
+// the pool or other solves. Determinism is untouched — the executor only
+// changes which goroutine runs a task and when, and Report.Best is
+// schedule-independent by construction (see the package comment).
+//
+// The zero Executor is not usable; construct with NewExecutor. Close drains
+// queued work and stops the workers; a closed Executor makes Solve fall back
+// to its private per-call pool, so library callers can shut one down without
+// tearing down solving.
+type Executor struct {
+	workers int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	jobs   []*execJob // active jobs, drained round-robin
+	cursor int        // next round-robin pick position
+	closed bool
+	wg     sync.WaitGroup
+
+	jobCount  atomic.Uint64
+	taskCount atomic.Uint64
+}
+
+// execJob is one solve's task queue as the executor sees it: n indexed
+// tasks handed out in order, at most maxParallel running at once. The
+// solve's context lives in the task fn's closure (the drain contract), so
+// the job itself holds no reference to it.
+type execJob struct {
+	fn          func(idx int)
+	n           int
+	next        int // next task index to hand out
+	running     int // tasks currently executing
+	maxParallel int
+	done        chan struct{}
+}
+
+// NewExecutor starts an executor with the given worker count (≤ 0 means
+// GOMAXPROCS). The workers live until Close.
+func NewExecutor(workers int) *Executor {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Executor{workers: workers}
+	e.cond = sync.NewCond(&e.mu)
+	e.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Workers returns the size of the shared pool.
+func (e *Executor) Workers() int { return e.workers }
+
+// Stats reports how many jobs (solves) and tasks the executor has accepted —
+// serving telemetry, and the hook tests use to assert a solve actually ran
+// on the shared pool.
+func (e *Executor) Stats() (jobs, tasks uint64) {
+	return e.jobCount.Load(), e.taskCount.Load()
+}
+
+// Close drains all queued jobs and stops the workers. Safe to call twice.
+// run calls racing or following Close return false and the solve falls back
+// to its private pool.
+func (e *Executor) Close() {
+	e.mu.Lock()
+	e.closed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// run executes n indexed tasks on the shared pool, at most maxParallel at a
+// time, and returns once every task has completed. fn must observe its
+// solve's context itself (tasks of a cancelled solve are still invoked, as
+// fast no-ops) — exactly the drain contract of the private worker pool it
+// replaces. The false return means the executor is closed and ran nothing.
+func (e *Executor) run(maxParallel, n int, fn func(idx int)) bool {
+	if n == 0 {
+		return true
+	}
+	if maxParallel < 1 {
+		maxParallel = 1
+	}
+	j := &execJob{fn: fn, n: n, maxParallel: maxParallel, done: make(chan struct{})}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return false
+	}
+	e.jobs = append(e.jobs, j)
+	e.jobCount.Add(1)
+	e.taskCount.Add(uint64(n))
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	<-j.done
+	return true
+}
+
+// pickLocked hands out the next task round-robin across active jobs,
+// honouring each job's parallelism cap. Callers hold e.mu.
+func (e *Executor) pickLocked() (*execJob, int) {
+	for i := 0; i < len(e.jobs); i++ {
+		at := (e.cursor + i) % len(e.jobs)
+		j := e.jobs[at]
+		if j.next < j.n && j.running < j.maxParallel {
+			idx := j.next
+			j.next++
+			j.running++
+			e.cursor = (at + 1) % len(e.jobs)
+			return j, idx
+		}
+	}
+	return nil, 0
+}
+
+// finishLocked records one completed task and retires the job when its last
+// task is done. Callers hold e.mu.
+func (e *Executor) finishLocked(j *execJob) {
+	j.running--
+	if j.next >= j.n && j.running == 0 {
+		for at, other := range e.jobs {
+			if other == j {
+				e.jobs = append(e.jobs[:at], e.jobs[at+1:]...)
+				if len(e.jobs) > 0 {
+					e.cursor %= len(e.jobs)
+				} else {
+					e.cursor = 0
+				}
+				break
+			}
+		}
+		close(j.done)
+		return
+	}
+	if j.next < j.n {
+		// A parallelism-capped job just freed a slot; one idle worker can
+		// take the next task.
+		e.cond.Signal()
+	}
+}
+
+// worker is the shared pool loop: pick a task fairly, run it, repeat. Exits
+// when the executor is closed and no runnable task remains — queued jobs are
+// drained before shutdown completes.
+func (e *Executor) worker() {
+	defer e.wg.Done()
+	for {
+		e.mu.Lock()
+		j, idx := e.pickLocked()
+		for j == nil && !e.closed {
+			e.cond.Wait()
+			j, idx = e.pickLocked()
+		}
+		if j == nil { // closed, nothing runnable
+			e.mu.Unlock()
+			return
+		}
+		e.mu.Unlock()
+		j.fn(idx)
+		e.mu.Lock()
+		e.finishLocked(j)
+		e.mu.Unlock()
+	}
+}
+
+// executorCtxKey carries an *Executor through a context.
+type executorCtxKey struct{}
+
+// WithExecutor returns a context carrying e. A Solve whose context carries
+// an executor schedules its tasks on the shared pool instead of spawning a
+// private one — the mechanism the service layer uses to keep total solver
+// goroutines bounded under concurrent load. Callers that attach nothing keep
+// the per-call pool behavior unchanged.
+func WithExecutor(ctx context.Context, e *Executor) context.Context {
+	return context.WithValue(ctx, executorCtxKey{}, e)
+}
+
+// executorFor returns the context's executor, or nil.
+func executorFor(ctx context.Context) *Executor {
+	if e, ok := ctx.Value(executorCtxKey{}).(*Executor); ok {
+		return e
+	}
+	return nil
+}

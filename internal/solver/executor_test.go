@@ -1,0 +1,196 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"waso/internal/core"
+	"waso/internal/gen"
+)
+
+// TestExecutorBounds: no matter how many jobs are submitted concurrently,
+// the number of simultaneously running tasks never exceeds the pool size,
+// and a job's own maxParallel caps its share of the pool.
+func TestExecutorBounds(t *testing.T) {
+	ex := NewExecutor(2)
+	defer ex.Close()
+
+	var running, peak atomic.Int64
+	task := func(int) {
+		if r := running.Add(1); r > peak.Load() {
+			peak.Store(r)
+		}
+		time.Sleep(time.Millisecond)
+		running.Add(-1)
+	}
+	var wg sync.WaitGroup
+	for j := 0; j < 8; j++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if !ex.run(2, 6, task) {
+				t.Error("run on open executor returned false")
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > 2 {
+		t.Errorf("peak concurrent tasks = %d, want ≤ 2", p)
+	}
+
+	// A job capped below the pool size never runs more than its cap at once.
+	var capRunning, capPeak atomic.Int64
+	ex.run(1, 8, func(int) {
+		if r := capRunning.Add(1); r > capPeak.Load() {
+			capPeak.Store(r)
+		}
+		time.Sleep(time.Millisecond)
+		capRunning.Add(-1)
+	})
+	if p := capPeak.Load(); p != 1 {
+		t.Errorf("maxParallel=1 job peaked at %d concurrent tasks", p)
+	}
+
+	if jobs, tasks := ex.Stats(); jobs != 9 || tasks != 8*6+8 {
+		t.Errorf("Stats() = (%d, %d), want (9, 56)", jobs, tasks)
+	}
+}
+
+// TestExecutorEveryTaskOnce: each task index runs exactly once even with
+// many jobs interleaving on the shared pool.
+func TestExecutorEveryTaskOnce(t *testing.T) {
+	ex := NewExecutor(4)
+	defer ex.Close()
+	const n = 100
+	var wg sync.WaitGroup
+	for j := 0; j < 4; j++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			counts := make([]atomic.Int32, n)
+			ex.run(4, n, func(idx int) { counts[idx].Add(1) })
+			for i := range counts {
+				if c := counts[i].Load(); c != 1 {
+					t.Errorf("task %d ran %d times", i, c)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestExecutorSolveEquivalence: a Solve scheduled on a shared executor
+// returns bit-identical reports to the private-pool path, and actually ran
+// on the shared pool (Stats moved).
+func TestExecutorSolveEquivalence(t *testing.T) {
+	g, err := gen.Spec{Kind: "powerlaw", N: 600, AvgDeg: 8, Seed: 3}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExecutor(4)
+	defer ex.Close()
+	ctx := context.Background()
+	exCtx := WithExecutor(ctx, ex)
+	for _, seed := range []uint64{1, 7, 42} {
+		for _, sv := range All() {
+			req := core.DefaultRequest(8)
+			req.Samples = 30
+			req.Seed = seed
+			want, err := sv.Solve(ctx, g, req)
+			if err != nil {
+				t.Fatalf("%s private: %v", sv.Name(), err)
+			}
+			got, err := sv.Solve(exCtx, g, req)
+			if err != nil {
+				t.Fatalf("%s shared: %v", sv.Name(), err)
+			}
+			if !got.Best.Equal(want.Best) || got.Best.Willingness != want.Best.Willingness ||
+				got.SamplesDrawn != want.SamplesDrawn {
+				t.Errorf("%s seed %d: shared %v != private %v", sv.Name(), seed, got.Best, want.Best)
+			}
+		}
+	}
+	if _, tasks := ex.Stats(); tasks == 0 {
+		t.Error("executor saw no tasks — solves did not run on the shared pool")
+	}
+}
+
+// TestExecutorCancellation: a cancelled solve returns ctx.Err() without
+// stalling the pool, and an independent solve sharing the executor still
+// completes.
+func TestExecutorCancellation(t *testing.T) {
+	g, err := gen.Spec{Kind: "powerlaw", N: 2000, AvgDeg: 8, Seed: 2}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExecutor(2)
+	defer ex.Close()
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := core.DefaultRequest(10)
+	req.Samples = 1 << 16
+	if _, err := (CBASND{}).Solve(WithExecutor(cancelled, ex), g, req); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled solve: err = %v, want context.Canceled", err)
+	}
+
+	deadline, cancel2 := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel2()
+	req.Prune = false
+	if _, err := (CBASND{}).Solve(WithExecutor(deadline, ex), g, req); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("deadline solve: err = %v, want context.DeadlineExceeded", err)
+	}
+
+	ok := core.DefaultRequest(6)
+	ok.Samples = 10
+	if _, err := (CBAS{}).Solve(WithExecutor(context.Background(), ex), g, ok); err != nil {
+		t.Errorf("solve after cancellations: %v", err)
+	}
+}
+
+// TestExecutorClose: Close drains queued work, run after Close reports
+// false, and a Solve carrying a closed executor falls back to the private
+// pool and still succeeds.
+func TestExecutorClose(t *testing.T) {
+	ex := NewExecutor(1)
+	var ran atomic.Int32
+	var wg sync.WaitGroup
+	for j := 0; j < 4; j++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ex.run(1, 4, func(int) { ran.Add(1) })
+		}()
+	}
+	wg.Wait()
+	ex.Close()
+	ex.Close() // idempotent
+	if got := ran.Load(); got != 16 {
+		t.Errorf("ran %d tasks before close, want 16", got)
+	}
+	if ex.run(1, 1, func(int) {}) {
+		t.Error("run on closed executor returned true")
+	}
+
+	g, err := gen.Spec{Kind: "er", N: 200, AvgDeg: 4, Seed: 1}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := core.DefaultRequest(5)
+	req.Samples = 10
+	want, err := (CBAS{}).Solve(context.Background(), g, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := (CBAS{}).Solve(WithExecutor(context.Background(), ex), g, req)
+	if err != nil {
+		t.Fatalf("solve with closed executor: %v", err)
+	}
+	if !got.Best.Equal(want.Best) {
+		t.Errorf("closed-executor fallback %v != private %v", got.Best, want.Best)
+	}
+}

@@ -42,7 +42,11 @@
 // NewPrep and attach it via WithPrep — Solve picks it up from the context
 // and skips the per-call ranking pass — and can recycle per-worker scratch
 // buffers across calls with a WorkspacePool attached via
-// WithWorkspacePool.
+// WithWorkspacePool. A process serving many concurrent solves additionally
+// attaches one shared Executor (WithExecutor): every Solve then schedules
+// its tasks on that bounded pool instead of spawning a private one, so
+// total solver goroutines never exceed the pool size regardless of how
+// many requests are in flight.
 //
 // CBAS and CBASND schedule the deterministic greedy completion of every
 // start ahead of all sampling, so the shared incumbent starts at the best
@@ -53,6 +57,7 @@ package solver
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -65,6 +70,12 @@ import (
 	"waso/internal/graph"
 	"waso/internal/rng"
 )
+
+// ErrNoGroup reports a solve that completed without producing any
+// candidate group — only reachable for purely sampling-based solvers given
+// a zero sample budget. It is a request problem, not a solver fault;
+// serving layers map it to their invalid-argument status.
+var ErrNoGroup = errors.New("no group produced")
 
 // FenwickCrossover is the estimated frontier size above which
 // core.SamplerAuto switches CBASND from linear scans to a Fenwick tree. The
@@ -501,47 +512,106 @@ func multiStart(ctx context.Context, name string, g *graph.Graph, req core.Reque
 		workers = len(tasks)
 	}
 	pool := workspacePoolFor(ctx, g)
-	idxCh := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var ws *workspace
+
+	// execTask binds the task's substrate — this start's compact region when
+	// one exists, the whole graph otherwise (growth is bit-identical either
+	// way, see graph.Region; only the memory footprint changes) — and runs
+	// it, recording the outcome in task order.
+	execTask := func(ws *workspace, idx int) {
+		t := tasks[idx]
+		start := starts[t.startIdx]
+		if regions != nil && regions[t.startIdx] != nil {
+			r := regions[t.startIdx]
+			ws.bindRegion(r)
+			start = r.LocalStart()
+		} else {
+			ws.bindGraph(global)
+		}
+		outcomes[idx] = run(ctx, ws, t, start, root, req)
+	}
+
+	// A context-attached Executor (the serving path) schedules the tasks on
+	// the process-wide shared pool — total solver goroutines stay bounded no
+	// matter how many solves are in flight — with this solve's clamped
+	// Workers as its parallelism cap. Otherwise (or when the executor has
+	// been closed) the solve spawns its own private pool, the library
+	// default. Both paths reduce outcomes in task order, so Report.Best is
+	// identical between them.
+	ranShared := false
+	if ex := executorFor(ctx); ex != nil {
+		// Tasks from many solves interleave on one executor worker, so
+		// workspaces are per task, not per worker: drawn from the shared
+		// per-graph pool when one is attached, else from a solve-local
+		// free list that allocates at most maxParallel workspaces.
+		var freeMu sync.Mutex
+		var free []*workspace
+		acquire := func() *workspace {
 			if pool != nil {
-				ws = pool.get(req, topSum, useFen)
-				defer pool.put(ws)
-			} else {
-				ws = newWorkspace(wsCap)
-				ws.configure(req, topSum, useFen)
+				ws := pool.get(req, topSum, useFen)
+				ws.inc = inc
+				return ws
 			}
+			freeMu.Lock()
+			if n := len(free); n > 0 {
+				ws := free[n-1]
+				free = free[:n-1]
+				freeMu.Unlock()
+				return ws
+			}
+			freeMu.Unlock()
+			ws := newWorkspace(wsCap)
+			ws.configure(req, topSum, useFen)
 			ws.inc = inc
-			for idx := range idxCh {
-				if ctx.Err() != nil {
-					continue // drain without working so the feeder never blocks
-				}
-				t := tasks[idx]
-				// Bind the task's substrate: this start's compact region
-				// when one exists, the whole graph otherwise. Growth is
-				// bit-identical either way (see graph.Region); only the
-				// memory footprint changes.
-				start := starts[t.startIdx]
-				if regions != nil && regions[t.startIdx] != nil {
-					r := regions[t.startIdx]
-					ws.bindRegion(r)
-					start = r.LocalStart()
-				} else {
-					ws.bindGraph(global)
-				}
-				outcomes[idx] = run(ctx, ws, t, start, root, req)
+			return ws
+		}
+		release := func(ws *workspace) {
+			if pool != nil {
+				pool.put(ws)
+				return
 			}
-		}()
+			freeMu.Lock()
+			free = append(free, ws)
+			freeMu.Unlock()
+		}
+		ranShared = ex.run(workers, len(tasks), func(idx int) {
+			if ctx.Err() != nil {
+				return // cancelled solve: drain remaining tasks as no-ops
+			}
+			ws := acquire()
+			execTask(ws, idx)
+			release(ws)
+		})
 	}
-	for idx := range tasks {
-		idxCh <- idx
+	if !ranShared {
+		idxCh := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var ws *workspace
+				if pool != nil {
+					ws = pool.get(req, topSum, useFen)
+					defer pool.put(ws)
+				} else {
+					ws = newWorkspace(wsCap)
+					ws.configure(req, topSum, useFen)
+				}
+				ws.inc = inc
+				for idx := range idxCh {
+					if ctx.Err() != nil {
+						continue // drain without working so the feeder never blocks
+					}
+					execTask(ws, idx)
+				}
+			}()
+		}
+		for idx := range tasks {
+			idxCh <- idx
+		}
+		close(idxCh)
+		wg.Wait()
 	}
-	close(idxCh)
-	wg.Wait()
 	if err := ctx.Err(); err != nil {
 		return core.Report{}, err
 	}
@@ -561,7 +631,7 @@ func multiStart(ctx context.Context, name string, g *graph.Graph, req core.Reque
 	if best.Size() == 0 {
 		// Only reachable for purely sampling-based solvers given a zero
 		// sample budget — an explicit error, not a silent default.
-		return core.Report{}, fmt.Errorf("solver: %s produced no group (zero sample budget?)", name)
+		return core.Report{}, fmt.Errorf("solver: %s produced no group (zero sample budget?): %w", name, ErrNoGroup)
 	}
 	rep.Best = best
 	rep.Elapsed = time.Since(began)
