@@ -40,6 +40,7 @@ import (
 	"waso/internal/core"
 	"waso/internal/gen"
 	"waso/internal/graph"
+	"waso/internal/metrics"
 	"waso/internal/solver"
 )
 
@@ -85,6 +86,14 @@ type entry struct {
 	P50 float64 `json:"p50_ns,omitempty"`
 	P95 float64 `json:"p95_ns,omitempty"`
 	P99 float64 `json:"p99_ns,omitempty"`
+
+	// Metrics holds serving-telemetry deltas scraped around a throughput
+	// row — cache/pool/executor counters keyed by the same family names
+	// wasod renders on /metrics, plus executor queue-wait percentiles in
+	// seconds. The warmup request runs before the scrape, so deltas cover
+	// exactly the timed replay. Absent outside -throughput mode; unknown
+	// to runCompare (the gate keys on ns_per_op only).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 func run(args []string, out io.Writer) error {
@@ -375,7 +384,9 @@ func runThroughput(cfg throughputConfig, outPath string, out io.Writer, args []s
 			"concurrent clients against one resident graph sharing Prep, workspace pool and region cache. "+
 			"exec=shared schedules every request on one bounded executor (total solver goroutines = GOMAXPROCS); "+
 			"exec=private spawns a GOMAXPROCS-sized pool per request, oversubscribing the CPU at high concurrency. "+
-			"%d starts x %d samples per request; ns_per_op is mean latency, p50/p95/p99 and qps recorded per row.",
+			"%d starts x %d samples per request; ns_per_op is mean latency, p50/p95/p99 and qps recorded per row. "+
+			"Each row also carries 'metrics': serving-telemetry deltas (cache/pool/executor counters, queue-wait "+
+			"percentiles) scraped around the replay, keyed by the wasod /metrics family names.",
 			cfg.requests, cfg.starts, cfg.samples),
 	}
 	for _, n := range cfg.sizes {
@@ -389,10 +400,14 @@ func runThroughput(cfg throughputConfig, outPath string, out io.Writer, args []s
 			}
 			// One warm per-graph context, exactly like the service layer:
 			// the replay measures scheduling, not ranking or extraction.
+			// Pool, cache and executor stay addressable so each row can
+			// scrape their counters before and after its replay.
+			pool := solver.NewWorkspacePool(g)
+			cache := solver.NewRegionCache(g, 0)
 			warm := context.Background()
 			warm = solver.WithPrep(warm, solver.NewPrep(g))
-			warm = solver.WithWorkspacePool(warm, solver.NewWorkspacePool(g))
-			warm = solver.WithRegionCache(warm, solver.NewRegionCache(g, 0))
+			warm = solver.WithWorkspacePool(warm, pool)
+			warm = solver.WithRegionCache(warm, cache)
 			ex := solver.NewExecutor(0)
 			defer ex.Close()
 			for _, k := range cfg.ks {
@@ -411,10 +426,19 @@ func runThroughput(cfg throughputConfig, outPath string, out io.Writer, args []s
 							if mode == "shared" {
 								ctx = solver.WithExecutor(ctx, ex)
 							}
+							// Warm up before the scrape so the metric deltas
+							// cover exactly the timed replay below.
+							warmReq := base
+							warmReq.Seed = cfg.seed
+							if _, err := sv.Solve(ctx, g, warmReq); err != nil {
+								return err
+							}
+							before := snapshotServing(pool, cache, ex)
 							e, err := measureThroughput(ctx, g, sv, base, conc, cfg.requests, cfg.seed)
 							if err != nil {
 								return err
 							}
+							e.Metrics = snapshotServing(pool, cache, ex).delta(before)
 							e.Name = throughputRowName(n, cfg.genKind, k, algoName, conc, mode)
 							fmt.Fprintf(os.Stderr, "wasobench: %-64s %9.1f qps  p99 %11.0f ns\n", e.Name, e.QPS, e.P99)
 							rep.Benchmarks = append(rep.Benchmarks, e)
@@ -443,6 +467,51 @@ func runThroughput(cfg throughputConfig, outPath string, out io.Writer, args []s
 	return enc.Encode(rep)
 }
 
+// servingSnapshot captures the cumulative counters of the serving
+// substrate (workspace pool, region cache, shared executor) at one
+// instant; two snapshots bracket a replay and their delta becomes the
+// row's scraped metrics.
+type servingSnapshot struct {
+	pool  solver.WorkspacePoolStats
+	cache solver.RegionCacheStats
+	exec  solver.ExecutorStats
+	qw    metrics.HistogramSnapshot
+}
+
+func snapshotServing(pool *solver.WorkspacePool, cache *solver.RegionCache, ex *solver.Executor) servingSnapshot {
+	return servingSnapshot{
+		pool:  pool.Stats(),
+		cache: cache.Stats(),
+		exec:  ex.Stats(),
+		qw:    ex.QueueWait().Snapshot(),
+	}
+}
+
+// delta renders after−before as a map keyed by the same Prometheus family
+// names wasod exposes on /metrics, so a wasobench row and a production
+// scrape speak the same vocabulary. Queue-wait percentiles are computed
+// from the bracketed histogram delta (seconds) and only emitted when the
+// replay actually scheduled executor jobs.
+func (after servingSnapshot) delta(before servingSnapshot) map[string]float64 {
+	m := map[string]float64{
+		"waso_workspace_pool_gets_total":         float64(after.pool.Gets - before.pool.Gets),
+		"waso_workspace_pool_allocs_total":       float64(after.pool.Allocs - before.pool.Allocs),
+		"waso_region_cache_hits_total":           float64(after.cache.Hits - before.cache.Hits),
+		"waso_region_cache_misses_total":         float64(after.cache.Misses - before.cache.Misses),
+		"waso_region_cache_negative_hits_total":  float64(after.cache.NegativeHits - before.cache.NegativeHits),
+		"waso_region_cache_evictions_total":      float64(after.cache.Evictions - before.cache.Evictions),
+		"waso_executor_jobs_total":               float64(after.exec.Jobs - before.exec.Jobs),
+		"waso_executor_tasks_total":              float64(after.exec.Tasks - before.exec.Tasks),
+		"waso_executor_queue_wait_seconds_count": float64(after.qw.Count - before.qw.Count),
+	}
+	if qw := after.qw.Sub(before.qw); qw.Count > 0 {
+		m["waso_executor_queue_wait_seconds_p50"] = qw.Percentile(50)
+		m["waso_executor_queue_wait_seconds_p95"] = qw.Percentile(95)
+		m["waso_executor_queue_wait_seconds_p99"] = qw.Percentile(99)
+	}
+	return m
+}
+
 // throughputRowName renders one throughput row, omitting default axes like
 // rowName does.
 func throughputRowName(n int, genKind string, k int, algo string, conc int, mode string) string {
@@ -459,14 +528,9 @@ func throughputRowName(n int, genKind string, k int, algo string, conc int, mode
 }
 
 // measureThroughput replays total requests from conc concurrent clients
-// (seed varied per request) and aggregates latency. One untimed warmup
-// request faults in shared state first.
+// (seed varied per request) and aggregates latency. The caller warms the
+// shared state up first — the replay itself is fully timed.
 func measureThroughput(ctx context.Context, g *graph.Graph, sv solver.Solver, base core.Request, conc, total int, seed uint64) (entry, error) {
-	warmReq := base
-	warmReq.Seed = seed
-	if _, err := sv.Solve(ctx, g, warmReq); err != nil {
-		return entry{}, err
-	}
 	lat := make([]float64, total)
 	var next atomic.Int64
 	var errMu sync.Mutex

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"os"
+	"strings"
 	"testing"
 )
 
@@ -131,6 +132,30 @@ func TestThroughputMode(t *testing.T) {
 		}
 		if b.Iters != 8 {
 			t.Errorf("%s: iterations = %d, want 8", b.Name, b.Iters)
+		}
+		// Every row carries scraped serving-telemetry deltas covering the
+		// timed replay: 8 requests × 8 default starts drew workspaces.
+		if b.Metrics == nil {
+			t.Fatalf("%s: no metrics deltas", b.Name)
+		}
+		if got := b.Metrics["waso_workspace_pool_gets_total"]; got <= 0 {
+			t.Errorf("%s: waso_workspace_pool_gets_total = %v, want > 0", b.Name, got)
+		}
+		shared := strings.HasSuffix(b.Name, "exec=shared")
+		if jobs := b.Metrics["waso_executor_jobs_total"]; shared && jobs != 8 {
+			t.Errorf("%s: waso_executor_jobs_total = %v, want 8 (one per request)", b.Name, jobs)
+		} else if !shared && jobs != 0 {
+			t.Errorf("%s: waso_executor_jobs_total = %v, want 0 on private pools", b.Name, jobs)
+		}
+		if shared {
+			if cnt := b.Metrics["waso_executor_queue_wait_seconds_count"]; cnt != 8 {
+				t.Errorf("%s: queue-wait count = %v, want 8", b.Name, cnt)
+			}
+			p50 := b.Metrics["waso_executor_queue_wait_seconds_p50"]
+			p99 := b.Metrics["waso_executor_queue_wait_seconds_p99"]
+			if p50 < 0 || p99 < p50 {
+				t.Errorf("%s: queue-wait percentiles p50=%v p99=%v", b.Name, p50, p99)
+			}
 		}
 	}
 	for _, want := range []string{

@@ -1,7 +1,9 @@
 // Command wasod serves WASO solving over a JSON HTTP API, built on the
 // service layer's shared graph store:
 //
-//	GET  /healthz            — liveness probe
+//	GET  /healthz            — liveness probe: graphs, executor backlog, uptime
+//	GET  /metrics            — Prometheus text exposition (see README
+//	                           "Observability" for the metric catalogue)
 //	POST /v1/graphs          — ingest a graph: generate, JSON edge list, or
 //	                           binary codec upload (application/octet-stream
 //	                           with ?id=)
@@ -28,7 +30,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -49,6 +53,8 @@ func main() {
 		maxNodes   = flag.Int("maxnodes", 10_000_000, "maximum nodes per resident graph (0 = unlimited)")
 		maxEdges   = flag.Int("maxedges", 50_000_000, "maximum edges per resident graph (0 = unlimited)")
 		maxRegions = flag.Int("maxregions", 0, "search-region cache entries per resident graph (0 = default, negative = disable caching)")
+		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default: profiling endpoints are operator tools, not public API)")
+		accessLog  = flag.Bool("accesslog", true, "emit one structured access-log line per request to stderr")
 	)
 	flag.Parse()
 
@@ -60,9 +66,13 @@ func main() {
 		MaxRegions:     *maxRegions,
 	})
 	defer svc.Close()
+	var logger *slog.Logger
+	if *accessLog {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: newMux(svc, *maxBody, *timeout),
+		Handler: newMux(svc, *maxBody, *timeout, *pprofOn, logger),
 		// Slow-client guards: a trickled header or body cannot pin a
 		// goroutine forever. Writes get the solve deadline plus slack.
 		ReadHeaderTimeout: 10 * time.Second,
@@ -100,18 +110,29 @@ type api struct {
 	maxTimeout time.Duration // hard cap on client-supplied timeout_ms; 0 = uncapped
 }
 
-// newMux builds the route table; separated from main so tests can mount it
-// on httptest servers.
-func newMux(svc *service.Service, maxBody int64, maxTimeout time.Duration) *http.ServeMux {
+// newMux builds the route table wrapped in the observability middleware;
+// separated from main so tests can mount it on httptest servers. It
+// registers the HTTP metric families on the service's registry, so call it
+// once per Service. enablePprof mounts net/http/pprof under /debug/pprof/;
+// accessLog (nil = silent) receives one structured line per request.
+func newMux(svc *service.Service, maxBody int64, maxTimeout time.Duration, enablePprof bool, accessLog *slog.Logger) http.Handler {
 	a := &api{svc: svc, maxBody: maxBody, maxTimeout: maxTimeout}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", a.health)
+	mux.HandleFunc("GET /metrics", a.metrics)
 	mux.HandleFunc("POST /v1/graphs", a.putGraph)
 	mux.HandleFunc("GET /v1/graphs", a.listGraphs)
 	mux.HandleFunc("DELETE /v1/graphs/{id}", a.evictGraph)
 	mux.HandleFunc("POST /v1/solve", a.solve)
 	mux.HandleFunc("POST /v1/solve/batch", a.solveBatch)
-	return mux
+	if enablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return newHTTPMetrics(svc.Metrics(), accessLog).instrument(mux)
 }
 
 // httpError is the uniform error envelope.
@@ -156,8 +177,16 @@ func fail(w http.ResponseWriter, err error) {
 	writeJSON(w, statusOf(err), httpError{Error: err.Error()})
 }
 
+// health reports the serving summary: resident graphs, executor backlog
+// (the overload signal a load balancer should watch), and uptime.
 func (a *api) health(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	writeJSON(w, http.StatusOK, a.svc.Health())
+}
+
+// metrics renders the full registry as Prometheus text exposition.
+func (a *api) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = a.svc.Metrics().WriteText(w)
 }
 
 // putGraphBody is the JSON ingestion envelope: exactly one of Generate or

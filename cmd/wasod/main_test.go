@@ -30,7 +30,7 @@ func newTestServer(t *testing.T) *httptest.Server {
 func newConfiguredServer(t *testing.T, cfg service.Config) *httptest.Server {
 	t.Helper()
 	svc := service.New(cfg)
-	ts := httptest.NewServer(newMux(svc, 64<<20, 30*time.Second))
+	ts := httptest.NewServer(newMux(svc, 64<<20, 30*time.Second, false, nil))
 	t.Cleanup(func() {
 		ts.Close()
 		svc.Close()
@@ -71,9 +71,24 @@ func tryJSON(method, url, body string) (int, []byte, error) {
 
 func TestHealthz(t *testing.T) {
 	ts := newTestServer(t)
+	if status, body := doJSON(t, "POST", ts.URL+"/v1/graphs",
+		`{"id":"h","generate":{"kind":"er","n":30,"avgdeg":2,"seed":1}}`); status != http.StatusCreated {
+		t.Fatalf("generate: %d %s", status, body)
+	}
 	status, body := doJSON(t, "GET", ts.URL+"/healthz", "")
-	if status != http.StatusOK || !strings.Contains(string(body), "true") {
+	if status != http.StatusOK {
 		t.Fatalf("healthz: %d %s", status, body)
+	}
+	var h struct {
+		Graphs        int      `json:"graphs"`
+		ExecutorQueue *int     `json:"executor_queue"`
+		UptimeS       *float64 `json:"uptime_s"`
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatalf("healthz body %s: %v", body, err)
+	}
+	if h.Graphs != 1 || h.ExecutorQueue == nil || h.UptimeS == nil || *h.UptimeS < 0 {
+		t.Errorf("healthz = %s, want graphs=1 with executor_queue and uptime_s present", body)
 	}
 }
 
@@ -118,6 +133,11 @@ func TestGraphLifecycleHTTP(t *testing.T) {
 	}
 	if len(list.Graphs) != 2 || list.Graphs[0].ID != "pl1" || list.Graphs[1].ID != "tiny" {
 		t.Errorf("list = %+v", list.Graphs)
+	}
+	for _, gi := range list.Graphs {
+		if gi.Nodes == 0 || !gi.Prepped {
+			t.Errorf("list entry %s missing size/prep info: %+v", gi.ID, gi)
+		}
 	}
 
 	if status, _ := doJSON(t, "DELETE", ts.URL+"/v1/graphs/tiny", ""); status != http.StatusNoContent {
@@ -164,7 +184,7 @@ func TestBinaryUploadHTTP(t *testing.T) {
 // ever being allocated.
 func TestBodyLimits(t *testing.T) {
 	svc := service.New(service.Config{MaxNodes: 1000, MaxEdges: 10000})
-	ts := httptest.NewServer(newMux(svc, 1<<10, time.Second)) // 1 KiB body cap
+	ts := httptest.NewServer(newMux(svc, 1<<10, time.Second, false, nil)) // 1 KiB body cap
 	t.Cleanup(func() {
 		ts.Close()
 		svc.Close()
@@ -266,7 +286,7 @@ func TestSolveDeadlineHTTP(t *testing.T) {
 // past the server's own bound — the operator's -timeout wins.
 func TestTimeoutClampHTTP(t *testing.T) {
 	svc := service.New(service.Config{DefaultTimeout: 20 * time.Millisecond})
-	ts := httptest.NewServer(newMux(svc, 64<<20, 20*time.Millisecond))
+	ts := httptest.NewServer(newMux(svc, 64<<20, 20*time.Millisecond, false, nil))
 	t.Cleanup(func() {
 		ts.Close()
 		svc.Close()
@@ -622,6 +642,30 @@ func TestConcurrentServingHTTP(t *testing.T) {
 		clients.Wait()
 		close(clientsDone)
 	}()
+	// Scrape /metrics continuously while the storm runs: rendering walks
+	// every instrument the solves are concurrently updating, so this is the
+	// -race proof that scraping never tears or blocks serving.
+	var scrapes sync.WaitGroup
+	scrapes.Add(1)
+	go func() {
+		defer scrapes.Done()
+		for {
+			select {
+			case <-clientsDone:
+				return
+			default:
+			}
+			status, body, err := tryJSON("GET", ts.URL+"/metrics", "")
+			if err != nil || status != http.StatusOK {
+				errCh <- fmt.Errorf("metrics scrape: %d %v", status, err)
+				return
+			}
+			if !strings.Contains(string(body), "waso_http_requests_total") {
+				errCh <- fmt.Errorf("metrics scrape missing http family:\n%s", body)
+				return
+			}
+		}
+	}()
 	// Churn other graphs and evict the target mid-flight.
 	var churn sync.WaitGroup
 	churn.Add(1)
@@ -659,6 +703,7 @@ func TestConcurrentServingHTTP(t *testing.T) {
 		}
 	}()
 	<-clientsDone
+	scrapes.Wait()
 	churn.Wait()
 	close(errCh)
 	for err := range errCh {

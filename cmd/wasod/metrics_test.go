@@ -1,0 +1,187 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"waso/internal/service"
+)
+
+// TestMetricsExposition drives one graph load, a successful solve and a
+// failed one through the HTTP layer, then scrapes /metrics and checks the
+// exposition: valid shape (no timestamps, HELP/TYPE per family), key
+// series present and nonzero, and the family set exactly matching the
+// checked-in catalogue (testdata/metric_names.txt) so new or renamed
+// metrics fail loudly until the catalogue — and the README — are updated.
+func TestMetricsExposition(t *testing.T) {
+	ts := newTestServer(t)
+	if status, body := doJSON(t, "POST", ts.URL+"/v1/graphs",
+		`{"id":"m","generate":{"kind":"er","n":200,"avgdeg":3,"seed":7}}`); status != http.StatusCreated {
+		t.Fatalf("generate: %d %s", status, body)
+	}
+	if status, body := doJSON(t, "POST", ts.URL+"/v1/solve",
+		`{"graph":"m","algo":"cbasnd","request":{"k":4,"samples":20,"seed":1}}`); status != http.StatusOK {
+		t.Fatalf("solve: %d %s", status, body)
+	}
+	if status, _ := doJSON(t, "POST", ts.URL+"/v1/solve",
+		`{"graph":"m","algo":"oracle","request":{"k":4}}`); status != http.StatusBadRequest {
+		t.Fatalf("unknown-algo solve: %d, want 400", status)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q, want text/plain; version=0.0.4", ct)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(blob)
+
+	// Shape: every non-comment line is exactly "name{labels} value" — two
+	// fields, no timestamps — and every family has HELP before TYPE.
+	var types []string
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			types = append(types, strings.TrimPrefix(line, "# TYPE "))
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if got := len(strings.Fields(line)); got != 2 {
+			t.Errorf("sample line %q has %d fields, want 2 (no timestamps)", line, got)
+		}
+	}
+
+	// Key series from every instrumented layer, all nonzero after one
+	// solved request.
+	for _, want := range []string{
+		`waso_http_requests_total{route="/v1/solve",code="200"} 1`,
+		`waso_http_requests_total{route="/v1/solve",code="400"} 1`,
+		`waso_solve_seconds_count{algo="cbasnd"} 1`,
+		`waso_solve_errors_total{algo="unknown",kind="invalid"} 1`,
+		`waso_solve_willingness_count{algo="cbasnd"} 1`,
+		`waso_graphs_resident 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	for _, prefix := range []string{
+		"waso_executor_tasks_total ",
+		"waso_workspace_pool_gets_total ",
+		"waso_uptime_seconds ",
+	} {
+		if !seriesPositive(text, prefix) {
+			t.Errorf("series %q absent or zero:\n%s", prefix, grepPrefix(text, prefix))
+		}
+	}
+
+	// Drift gate: the rendered family set must equal the checked-in
+	// catalogue, independent of traffic (vec families render their TYPE
+	// line even with no children).
+	catalogue, err := os.ReadFile("testdata/metric_names.txt")
+	if err != nil {
+		t.Fatalf("metric catalogue: %v", err)
+	}
+	var wantPairs []string
+	for _, line := range strings.Split(strings.TrimSpace(string(catalogue)), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			wantPairs = append(wantPairs, line)
+		}
+	}
+	sort.Strings(types)
+	sort.Strings(wantPairs)
+	if got, want := strings.Join(types, "\n"), strings.Join(wantPairs, "\n"); got != want {
+		t.Errorf("metric families drifted from testdata/metric_names.txt:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// seriesPositive reports whether a sample line starting with prefix exists
+// with a value > 0.
+func seriesPositive(text, prefix string) bool {
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			f := strings.Fields(line)
+			if len(f) == 2 && f[1] != "0" && !strings.HasPrefix(f[1], "-") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// grepPrefix returns the lines of text starting with prefix, for failure
+// messages.
+func grepPrefix(text, prefix string) string {
+	var out []string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestRequestID: every response carries an X-Request-ID; a client-supplied
+// id is echoed back so traces can correlate across systems.
+func TestRequestID(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Error("response missing generated X-Request-ID")
+	}
+	req, _ := http.NewRequest("GET", ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-ID", "trace-123")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if got := resp2.Header.Get("X-Request-ID"); got != "trace-123" {
+		t.Errorf("X-Request-ID = %q, want echoed trace-123", got)
+	}
+}
+
+// TestPprofGate: profiling endpoints exist only behind the -pprof flag.
+func TestPprofGate(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof without flag: %d, want 404", resp.StatusCode)
+	}
+
+	svc := service.New(service.Config{DefaultTimeout: 30 * time.Second})
+	tsOn := httptest.NewServer(newMux(svc, 64<<20, 30*time.Second, true, nil))
+	t.Cleanup(func() {
+		tsOn.Close()
+		svc.Close()
+	})
+	resp2, err := http.Get(tsOn.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("pprof with flag: %d, want 200", resp2.StatusCode)
+	}
+}

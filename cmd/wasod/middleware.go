@@ -1,0 +1,124 @@
+package main
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"waso/internal/metrics"
+)
+
+// HTTP-layer observability: one middleware wraps the whole route table and
+// records, per matched route pattern, the request count by status code, an
+// in-flight gauge and a latency histogram, tags every response with an
+// X-Request-ID, and (when a logger is supplied) emits one structured
+// access-log line per request. Route labels come from http.Request.Pattern
+// — the registered ServeMux pattern, not the raw URL — so label
+// cardinality is bounded by the route table, never by client input.
+type httpMetrics struct {
+	requests *metrics.CounterVec   // waso_http_requests_total{route,code}
+	latency  *metrics.HistogramVec // waso_http_request_seconds{route}
+	inflight *metrics.Gauge        // waso_http_inflight
+
+	accessLog *slog.Logger // nil = no access logging
+	bootID    uint32       // request-id prefix, distinct per process
+	seq       atomic.Uint64
+}
+
+// newHTTPMetrics registers the HTTP families on reg. Call once per
+// registry — duplicate registration panics by design.
+func newHTTPMetrics(reg *metrics.Registry, accessLog *slog.Logger) *httpMetrics {
+	return &httpMetrics{
+		requests: reg.NewCounter("waso_http_requests_total",
+			"HTTP requests by matched route and status code.", "route", "code"),
+		latency: reg.NewHistogram("waso_http_request_seconds",
+			"HTTP request latency by matched route.", metrics.DefLatencyBuckets, "route"),
+		inflight: reg.NewGauge("waso_http_inflight",
+			"HTTP requests currently being served.").With(),
+		accessLog: accessLog,
+		bootID:    uint32(time.Now().UnixNano()),
+	}
+}
+
+// statusWriter captures the status code and body bytes of one response.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(b)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+// requestID returns the client-supplied X-Request-ID, or mints one from
+// the process boot id plus a sequence number.
+func (m *httpMetrics) requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-ID"); id != "" {
+		return id
+	}
+	return fmt.Sprintf("%08x-%06d", m.bootID, m.seq.Add(1))
+}
+
+// routeLabel maps a served request to its metric label: the matched
+// ServeMux pattern with the method prefix stripped ("POST /v1/solve" →
+// "/v1/solve"), or "unmatched" for 404s that hit no pattern.
+func routeLabel(r *http.Request) string {
+	p := r.Pattern
+	if p == "" {
+		return "unmatched"
+	}
+	for i := 0; i < len(p); i++ {
+		if p[i] == ' ' {
+			return p[i+1:]
+		}
+	}
+	return p
+}
+
+// instrument wraps next with the request-id, metrics and access-log
+// middleware. Observation happens after next returns, when the ServeMux
+// has filled in r.Pattern.
+func (m *httpMetrics) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := m.requestID(r)
+		w.Header().Set("X-Request-ID", id)
+		sw := &statusWriter{ResponseWriter: w}
+		m.inflight.Inc()
+		begin := time.Now()
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(begin)
+		m.inflight.Dec()
+		if sw.status == 0 { // handler wrote nothing: net/http sends 200
+			sw.status = http.StatusOK
+		}
+		route := routeLabel(r)
+		m.requests.With(route, fmt.Sprintf("%d", sw.status)).Inc()
+		m.latency.With(route).Observe(elapsed.Seconds())
+		if m.accessLog != nil {
+			m.accessLog.Info("request",
+				"id", id,
+				"method", r.Method,
+				"route", route,
+				"path", r.URL.Path,
+				"status", sw.status,
+				"bytes", sw.bytes,
+				"elapsed_ms", float64(elapsed.Microseconds())/1000,
+			)
+		}
+	})
+}

@@ -38,15 +38,23 @@
 //	          the Solve/SolveBatch orchestrators with per-request
 //	          deadlines (batch items run concurrently and fail
 //	          independently, with answers bit-identical to sequential
-//	          single solves).
+//	          single solves). The service also owns the process
+//	          metrics.Registry: per-algo solve latency and quality
+//	          moments, executor backlog, cache/pool counters that stay
+//	          monotone across graph eviction.
 //	cmd     — the front ends over the same Request path: cmd/waso
 //	          (experiment harness and -batch item runner), cmd/wasod
-//	          (JSON HTTP server incl. POST /v1/solve/batch), and
-//	          cmd/wasobench (large-graph scaling benchmarks and the
-//	          -throughput serving replay).
+//	          (JSON HTTP server incl. POST /v1/solve/batch, GET /metrics
+//	          Prometheus exposition, structured access logs, opt-in
+//	          -pprof), and cmd/wasobench (large-graph scaling benchmarks
+//	          and the -throughput serving replay, whose rows carry
+//	          scraped metric deltas).
 //
 // gen (synthetic instances, §5) feeds graphs into cmd and service;
-// sampling/rng/bitset/stats are the shared substrate.
+// sampling/rng/bitset/stats/metrics are the shared substrate — metrics
+// being the dependency-free streaming-stats core (counters, gauges,
+// Welford moments, fixed-boundary histograms, Prometheus text
+// rendering) that solver and service instrument themselves with.
 //
 // This root package carries no code — only repo-level documentation and
 // cross-package benchmarks such as BenchmarkSamplerCrossover.

@@ -1,0 +1,156 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestWriteTextExposition pins the exposition format on a small
+// deterministic registry: family ordering, label rendering, histogram
+// shape, moments expansion — and the absence of timestamps.
+func TestWriteTextExposition(t *testing.T) {
+	r := NewRegistry()
+	req := r.NewCounter("app_requests_total", "Requests by route.", "route", "code")
+	req.With("/solve", "200").Add(3)
+	req.With("/solve", "404").Inc()
+	req.With(`/weird"path`+"\n", "200").Inc()
+	r.NewGauge("app_inflight", "In-flight requests.").With().Set(2)
+	h := r.NewHistogram("app_latency_seconds", "Latency.", []float64{0.1, 1}, "route")
+	h.With("/solve").Observe(0.25)
+	h.With("/solve").Observe(0.5)
+	h.With("/solve").Observe(5)
+	m := r.NewMoments("app_quality", "Quality.", "algo")
+	m.With("cbas").Observe(10)
+	m.With("cbas").Observe(20)
+	r.GaugeFunc("app_uptime_seconds", "Uptime.", func() float64 { return 12.5 })
+	r.CounterFunc("app_jobs_total", "Jobs.", func() float64 { return 7 })
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	want := `# HELP app_inflight In-flight requests.
+# TYPE app_inflight gauge
+app_inflight 2
+# HELP app_jobs_total Jobs.
+# TYPE app_jobs_total counter
+app_jobs_total 7
+# HELP app_latency_seconds Latency.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{route="/solve",le="0.1"} 0
+app_latency_seconds_bucket{route="/solve",le="1"} 2
+app_latency_seconds_bucket{route="/solve",le="+Inf"} 3
+app_latency_seconds_sum{route="/solve"} 5.75
+app_latency_seconds_count{route="/solve"} 3
+# HELP app_quality_count Quality. (observations)
+# TYPE app_quality_count counter
+app_quality_count{algo="cbas"} 2
+# HELP app_quality_max Quality. (maximum observed)
+# TYPE app_quality_max gauge
+app_quality_max{algo="cbas"} 20
+# HELP app_quality_mean Quality. (streaming mean)
+# TYPE app_quality_mean gauge
+app_quality_mean{algo="cbas"} 15
+# HELP app_quality_min Quality. (minimum observed)
+# TYPE app_quality_min gauge
+app_quality_min{algo="cbas"} 10
+# HELP app_quality_stddev Quality. (streaming stddev)
+# TYPE app_quality_stddev gauge
+app_quality_stddev{algo="cbas"} 5
+# HELP app_requests_total Requests by route.
+# TYPE app_requests_total counter
+app_requests_total{route="/solve",code="200"} 3
+app_requests_total{route="/solve",code="404"} 1
+app_requests_total{route="/weird\"path\n",code="200"} 1
+# HELP app_uptime_seconds Uptime.
+# TYPE app_uptime_seconds gauge
+app_uptime_seconds 12.5
+`
+	if got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	// Every sample line must be exactly "<series> <value>" — no timestamps.
+	for _, line := range strings.Split(strings.TrimSuffix(got, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if n := len(strings.Fields(line)); n != 2 {
+			t.Errorf("sample line %q has %d fields, want 2 (no timestamps)", line, n)
+		}
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("x_total", "x", "a").With("1").Add(5)
+	hist := NewHistogram([]float64{1})
+	hist.Observe(0.5)
+	r.RegisterHistogram("y_seconds", "y", hist)
+	snap := r.Snapshot()
+	if snap[`x_total{a="1"}`] != 5 {
+		t.Errorf("snapshot x_total = %v, want 5", snap[`x_total{a="1"}`])
+	}
+	if snap[`y_seconds_count`] != 1 || snap[`y_seconds_bucket{le="1"}`] != 1 {
+		t.Errorf("snapshot histogram series missing: %v", snap)
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.NewCounter("dup_total", "d")
+	mustPanic("duplicate name", func() { r.NewGauge("dup_total", "d") })
+	// Histograms reserve their derived series names.
+	r.NewHistogram("lat", "l", []float64{1})
+	mustPanic("derived collision", func() { r.NewCounter("lat_count", "c") })
+	mustPanic("invalid metric name", func() { r.NewCounter("0bad", "b") })
+	mustPanic("invalid label name", func() { r.NewCounter("ok_total", "o", "bad-label") })
+	mustPanic("label arity", func() { r.NewCounter("arity_total", "a", "x").With() })
+}
+
+// TestRegistryConcurrent hammers instrument updates and renders under
+// -race: With() creation races, WriteText during writes.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "c", "w")
+	h := r.NewHistogram("h_seconds", "h", DefLatencyBuckets, "w")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := string(rune('a' + w%4))
+			for i := 0; i < 500; i++ {
+				c.With(lbl).Inc()
+				h.With(lbl).Observe(float64(i) / 1e4)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if err := r.WriteText(&b); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := r.Snapshot()[`c_total{w="a"}`]; got != 1000 {
+		t.Errorf(`c_total{w="a"} = %v, want 1000`, got)
+	}
+}

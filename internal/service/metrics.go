@@ -1,0 +1,192 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"waso/internal/metrics"
+)
+
+// Observability: the service owns the process metrics registry and every
+// instrument above the solver layer. Instruments observe outcomes only —
+// they never touch a Report — so solving with metrics on is bit-identical
+// to solving without (the tentpole's neutrality requirement). Families:
+//
+//	waso_solve_seconds{algo}            dispatch-to-result latency histogram
+//	waso_solve_errors_total{algo,kind}  failures by class (invalid, timeout, canceled, other)
+//	waso_solve_samples_total{algo}      random samples drawn (advisory, per Report)
+//	waso_solve_pruned_total{algo}       samples abandoned by the upper bound
+//	waso_solve_willingness{algo}        streaming moments of Best.Willingness
+//	waso_solve_group_size{algo}         streaming moments of |Best.Nodes|
+//	waso_solves_inflight                solves currently executing
+//	waso_graphs_resident                resident graph count
+//	waso_uptime_seconds                 seconds since service construction
+//	waso_executor_*                     shared-pool totals and backlog (see Executor.Stats)
+//	waso_region_cache_*_total           region-cache traffic, summed across graphs
+//	waso_workspace_pool_*_total         workspace-pool traffic, summed across graphs
+//
+// Per-graph cache counters fold into cross-graph totals that survive
+// eviction: Evict snapshots the dying entry's counters into
+// Service.retired, so the rendered totals stay monotone (Prometheus
+// counter semantics) across graph churn. Increments made by solves still
+// in flight against an evicted graph are not folded — a bounded
+// undercount, never a decrease.
+
+// solveMetrics bundles the per-solve instruments solveEntry updates.
+type solveMetrics struct {
+	latency  *metrics.HistogramVec
+	errors   *metrics.CounterVec
+	samples  *metrics.CounterVec
+	pruned   *metrics.CounterVec
+	will     *metrics.MomentsVec
+	group    *metrics.MomentsVec
+	inflight *metrics.Gauge
+}
+
+// cacheTotals accumulates the per-graph cache and pool counters. The
+// service keeps one instance for evicted (retired) graphs; scrapes add the
+// resident entries on top.
+type cacheTotals struct {
+	regionHits, regionMisses, regionNegHits, regionEvictions uint64
+	poolGets, poolAllocs                                     uint64
+}
+
+// addEntry folds one graph entry's current counters into t.
+func (t *cacheTotals) addEntry(e *entry) {
+	ps := e.pool.Stats()
+	t.poolGets += ps.Gets
+	t.poolAllocs += ps.Allocs
+	if e.regions != nil {
+		rs := e.regions.Stats()
+		t.regionHits += rs.Hits
+		t.regionMisses += rs.Misses
+		t.regionNegHits += rs.NegativeHits
+		t.regionEvictions += rs.Evictions
+	}
+}
+
+// cacheTotalsNow returns retired totals plus every resident entry's
+// counters — the monotone cross-graph view the counter funcs render.
+func (s *Service) cacheTotalsNow() cacheTotals {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t := s.retired
+	for _, e := range s.graphs {
+		t.addEntry(e)
+	}
+	return t
+}
+
+// registerMetrics builds every service-level family on s.reg. Called once
+// from New; registration panics are programmer errors (duplicate names).
+func (s *Service) registerMetrics() {
+	reg := s.reg
+	s.met = solveMetrics{
+		latency: reg.NewHistogram("waso_solve_seconds",
+			"Solve latency from dispatch to result, per algorithm.",
+			metrics.DefLatencyBuckets, "algo"),
+		errors: reg.NewCounter("waso_solve_errors_total",
+			"Failed solves by algorithm and error class.", "algo", "kind"),
+		samples: reg.NewCounter("waso_solve_samples_total",
+			"Random samples drawn by completed solves (advisory).", "algo"),
+		pruned: reg.NewCounter("waso_solve_pruned_total",
+			"Samples abandoned by the incumbent upper bound (advisory).", "algo"),
+		will: reg.NewMoments("waso_solve_willingness",
+			"Best-solution willingness of completed solves.", "algo"),
+		group: reg.NewMoments("waso_solve_group_size",
+			"Best-solution group size of completed solves.", "algo"),
+		inflight: reg.NewGauge("waso_solves_inflight",
+			"Solves currently executing.").With(),
+	}
+
+	reg.GaugeFunc("waso_uptime_seconds",
+		"Seconds since the service was constructed.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	reg.GaugeFunc("waso_graphs_resident",
+		"Graphs currently resident in the store.",
+		func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return float64(len(s.graphs))
+		})
+
+	reg.CounterFunc("waso_executor_jobs_total",
+		"Solve jobs accepted by the shared executor.",
+		func() float64 { return float64(s.exec.Stats().Jobs) })
+	reg.CounterFunc("waso_executor_tasks_total",
+		"Sample-chunk tasks accepted by the shared executor.",
+		func() float64 { return float64(s.exec.Stats().Tasks) })
+	reg.GaugeFunc("waso_executor_jobs_active",
+		"Solve jobs with unfinished tasks on the shared executor.",
+		func() float64 { return float64(s.exec.Stats().JobsActive) })
+	reg.GaugeFunc("waso_executor_queue_depth",
+		"Tasks accepted but not yet running on the shared executor.",
+		func() float64 { return float64(s.exec.Stats().TasksQueued) })
+	reg.GaugeFunc("waso_executor_tasks_inflight",
+		"Tasks executing right now on the shared executor.",
+		func() float64 { return float64(s.exec.Stats().TasksInFlight) })
+	reg.RegisterHistogram("waso_executor_queue_wait_seconds",
+		"Per-job wait between submission and first task start.",
+		s.exec.QueueWait())
+
+	reg.CounterFunc("waso_region_cache_hits_total",
+		"Region-cache hits across all graphs (including evicted).",
+		func() float64 { return float64(s.cacheTotalsNow().regionHits) })
+	reg.CounterFunc("waso_region_cache_misses_total",
+		"Region-cache misses across all graphs (including evicted).",
+		func() float64 { return float64(s.cacheTotalsNow().regionMisses) })
+	reg.CounterFunc("waso_region_cache_negative_hits_total",
+		"Region-cache hits that returned a cached negative.",
+		func() float64 { return float64(s.cacheTotalsNow().regionNegHits) })
+	reg.CounterFunc("waso_region_cache_evictions_total",
+		"Region-cache entries dropped by the entry or byte bound.",
+		func() float64 { return float64(s.cacheTotalsNow().regionEvictions) })
+	reg.CounterFunc("waso_workspace_pool_gets_total",
+		"Workspaces handed out by per-graph pools.",
+		func() float64 { return float64(s.cacheTotalsNow().poolGets) })
+	reg.CounterFunc("waso_workspace_pool_allocs_total",
+		"Workspaces freshly allocated (pool misses).",
+		func() float64 { return float64(s.cacheTotalsNow().poolAllocs) })
+}
+
+// Metrics returns the service's registry — the single source /metrics and
+// wasobench scrape. Transports may register their own families on it
+// (wasod adds the HTTP family) before serving.
+func (s *Service) Metrics() *metrics.Registry { return s.reg }
+
+// errKind classifies a solve error for the waso_solve_errors_total kind
+// label. Keep the set small and closed: label values are series.
+func errKind(err error) string {
+	switch {
+	case errors.Is(err, ErrInvalid), errors.Is(err, ErrNotFound):
+		return "invalid"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	default:
+		return "other"
+	}
+}
+
+// Health is the wire-ready liveness summary: resident graphs, the shared
+// executor's instantaneous backlog (the admission-control signal), and
+// process uptime.
+type Health struct {
+	Graphs        int     `json:"graphs"`
+	ExecutorQueue int     `json:"executor_queue"`
+	UptimeS       float64 `json:"uptime_s"`
+}
+
+// Health returns the current liveness summary.
+func (s *Service) Health() Health {
+	s.mu.RLock()
+	graphs := len(s.graphs)
+	s.mu.RUnlock()
+	return Health{
+		Graphs:        graphs,
+		ExecutorQueue: s.exec.Stats().TasksQueued,
+		UptimeS:       time.Since(s.start).Seconds(),
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"waso/internal/core"
 	"waso/internal/gen"
 	"waso/internal/graph"
+	"waso/internal/metrics"
 	"waso/internal/solver"
 )
 
@@ -75,7 +76,8 @@ type GraphInfo struct {
 	Nodes     int       `json:"nodes"`
 	Edges     int       `json:"edges"`
 	AvgDegree float64   `json:"avg_degree"`
-	Source    string    `json:"source"` // provenance: "upload", "binary", gen.Spec string, ...
+	Source    string    `json:"source"`  // provenance: "upload", "binary", gen.Spec string, ...
+	Prepped   bool      `json:"prepped"` // precomputed NodeScore ranking is resident
 	CreatedAt time.Time `json:"created_at"`
 }
 
@@ -95,24 +97,36 @@ type entry struct {
 // Service is the in-memory graph store and solve orchestrator. All methods
 // are safe for concurrent use.
 type Service struct {
-	cfg Config
+	cfg   Config
+	start time.Time
 
 	// exec is the server-wide solve scheduler: one goroutine pool sized to
 	// GOMAXPROCS that every Solve and SolveBatch runs on, so total solver
 	// goroutines stay bounded no matter how many requests are in flight.
 	exec *solver.Executor
 
-	mu     sync.RWMutex
-	graphs map[string]*entry
+	// reg and met are the process metrics registry and the per-solve
+	// instruments; see metrics.go for the catalogue and the neutrality
+	// contract (instruments observe outcomes, never influence them).
+	reg *metrics.Registry
+	met solveMetrics
+
+	mu      sync.RWMutex
+	graphs  map[string]*entry
+	retired cacheTotals // counters of evicted graphs, so totals stay monotone
 }
 
 // New returns an empty Service. Close releases its shared executor.
 func New(cfg Config) *Service {
-	return &Service{
+	s := &Service{
 		cfg:    cfg,
+		start:  time.Now(),
 		exec:   solver.NewExecutor(0),
+		reg:    metrics.NewRegistry(),
 		graphs: make(map[string]*entry),
 	}
+	s.registerMetrics()
+	return s
 }
 
 // Close stops the shared solve executor after draining in-flight work. The
@@ -157,6 +171,7 @@ func (s *Service) Load(id string, g *graph.Graph, source string) (GraphInfo, err
 			Edges:     g.M(),
 			AvgDegree: g.AvgDegree(),
 			Source:    source,
+			Prepped:   true, // NewPrep above; List reports it per entry
 			CreatedAt: time.Now().UTC(),
 		},
 	}
@@ -275,9 +290,13 @@ func (s *Service) List() []GraphInfo {
 func (s *Service) Evict(id string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.graphs[id]; !ok {
+	e, ok := s.graphs[id]
+	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
+	// Fold the dying entry's cache counters into the retired totals so the
+	// cross-graph counter families never move backwards on eviction.
+	s.retired.addEntry(e)
 	delete(s.graphs, id)
 	return nil
 }
@@ -319,13 +338,18 @@ func (s *Service) withShared(ctx context.Context, e *entry) context.Context {
 }
 
 // solveEntry validates and runs one (algo, req) against a resident entry
-// whose shared state is already on ctx.
+// whose shared state is already on ctx. Every outcome updates the solve
+// instruments (see metrics.go); an unknown algorithm is labelled "unknown"
+// so client typos cannot mint unbounded label values.
 func (s *Service) solveEntry(ctx context.Context, e *entry, algo string, req core.Request) (core.Report, error) {
 	sv, err := solver.New(algo)
 	if err != nil {
+		s.met.errors.With("unknown", "invalid").Inc()
 		return core.Report{}, fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
+	algo = sv.Name() // canonical label value
 	if err := req.Validate(); err != nil {
+		s.met.errors.With(algo, "invalid").Inc()
 		return core.Report{}, fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
 	// RegionAlways is a verification mode for direct library use: it
@@ -336,14 +360,26 @@ func (s *Service) solveEntry(ctx context.Context, e *entry, algo string, req cor
 	if req.Region == core.RegionAlways {
 		req.Region = core.RegionAuto
 	}
+	s.met.inflight.Inc()
+	begin := time.Now()
 	rep, err := sv.Solve(ctx, e.g, req)
+	s.met.latency.With(algo).Observe(time.Since(begin).Seconds())
+	s.met.inflight.Dec()
 	if errors.Is(err, solver.ErrNoGroup) {
 		// A validated request the solver still cannot answer (e.g. rgreedy
 		// with a zero sample budget) is a client mistake, not a server
 		// fault — keep it in the invalid-argument family for transports.
-		return rep, fmt.Errorf("%w: %v", ErrInvalid, err)
+		err = fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
-	return rep, err
+	if err != nil {
+		s.met.errors.With(algo, errKind(err)).Inc()
+		return rep, err
+	}
+	s.met.samples.With(algo).Add(uint64(rep.SamplesDrawn))
+	s.met.pruned.With(algo).Add(uint64(rep.Pruned))
+	s.met.will.With(algo).Observe(rep.Best.Willingness)
+	s.met.group.With(algo).Observe(float64(rep.Best.Size()))
+	return rep, nil
 }
 
 // Solve runs the named algorithm against the stored graph, sharing the

@@ -4,7 +4,9 @@ import (
 	"context"
 	"runtime"
 	"sync"
-	"sync/atomic"
+	"time"
+
+	"waso/internal/metrics"
 )
 
 // Executor is a process-wide, bounded solve scheduler: one goroutine pool —
@@ -42,8 +44,19 @@ type Executor struct {
 	closed bool
 	wg     sync.WaitGroup
 
-	jobCount  atomic.Uint64
-	taskCount atomic.Uint64
+	// Telemetry, guarded by mu and read as one consistent snapshot by
+	// Stats. queued/inFlight are maintained incrementally by submit, pick
+	// and finish so a Stats call is O(1) regardless of active jobs.
+	jobsTotal  uint64
+	tasksTotal uint64
+	queued     int // tasks accepted but not yet handed to a worker
+	inFlight   int // tasks currently executing
+
+	// queueWait records, per job, how long a solve waited between
+	// submission and its first task starting — the backlog signal
+	// admission control keys on (a deep queue with low wait is a burst; a
+	// rising wait is saturation).
+	queueWait *metrics.Histogram
 }
 
 // execJob is one solve's task queue as the executor sees it: n indexed
@@ -57,6 +70,8 @@ type execJob struct {
 	running     int // tasks currently executing
 	maxParallel int
 	done        chan struct{}
+	submitted   time.Time // when run enqueued the job (queue-wait telemetry)
+	started     bool      // first task handed out (queue wait recorded once)
 }
 
 // NewExecutor starts an executor with the given worker count (≤ 0 means
@@ -65,7 +80,7 @@ func NewExecutor(workers int) *Executor {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	e := &Executor{workers: workers}
+	e := &Executor{workers: workers, queueWait: metrics.NewHistogram(metrics.DefLatencyBuckets)}
 	e.cond = sync.NewCond(&e.mu)
 	e.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -77,12 +92,43 @@ func NewExecutor(workers int) *Executor {
 // Workers returns the size of the shared pool.
 func (e *Executor) Workers() int { return e.workers }
 
-// Stats reports how many jobs (solves) and tasks the executor has accepted —
-// serving telemetry, and the hook tests use to assert a solve actually ran
-// on the shared pool.
-func (e *Executor) Stats() (jobs, tasks uint64) {
-	return e.jobCount.Load(), e.taskCount.Load()
+// ExecutorStats is one consistent snapshot of executor telemetry: the
+// accepted totals plus the instantaneous backlog. TasksQueued is the
+// admission-control signal — tasks accepted but not yet running — and
+// TasksInFlight how many workers are busy right now.
+type ExecutorStats struct {
+	Workers       int    // size of the shared pool
+	Jobs          uint64 // solves accepted since start
+	Tasks         uint64 // (start, sample-chunk) tasks accepted since start
+	JobsActive    int    // solves with unfinished tasks
+	TasksQueued   int    // tasks waiting for a worker
+	TasksInFlight int    // tasks executing right now
 }
+
+// Stats returns one consistent snapshot of the executor's counters and
+// backlog, taken under the scheduler lock — every field describes the same
+// instant, unlike reading independent atomics, which could observe a task
+// as both queued and in flight. Serving telemetry, the /metrics executor
+// family, and the hook tests use to assert a solve actually ran on the
+// shared pool.
+func (e *Executor) Stats() ExecutorStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return ExecutorStats{
+		Workers:       e.workers,
+		Jobs:          e.jobsTotal,
+		Tasks:         e.tasksTotal,
+		JobsActive:    len(e.jobs),
+		TasksQueued:   e.queued,
+		TasksInFlight: e.inFlight,
+	}
+}
+
+// QueueWait returns the executor's per-job queue-wait histogram (seconds
+// between a solve's submission and its first task starting). The serving
+// layer registers it on /metrics; Snapshot().Percentile gives the p99 an
+// admission controller would gate on.
+func (e *Executor) QueueWait() *metrics.Histogram { return e.queueWait }
 
 // Close drains all queued jobs and stops the workers. Safe to call twice.
 // run calls racing or following Close return false and the solve falls back
@@ -107,15 +153,16 @@ func (e *Executor) run(maxParallel, n int, fn func(idx int)) bool {
 	if maxParallel < 1 {
 		maxParallel = 1
 	}
-	j := &execJob{fn: fn, n: n, maxParallel: maxParallel, done: make(chan struct{})}
+	j := &execJob{fn: fn, n: n, maxParallel: maxParallel, done: make(chan struct{}), submitted: time.Now()}
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
 		return false
 	}
 	e.jobs = append(e.jobs, j)
-	e.jobCount.Add(1)
-	e.taskCount.Add(uint64(n))
+	e.jobsTotal++
+	e.tasksTotal += uint64(n)
+	e.queued += n
 	e.cond.Broadcast()
 	e.mu.Unlock()
 	<-j.done
@@ -132,6 +179,12 @@ func (e *Executor) pickLocked() (*execJob, int) {
 			idx := j.next
 			j.next++
 			j.running++
+			e.queued--
+			e.inFlight++
+			if !j.started {
+				j.started = true
+				e.queueWait.Observe(time.Since(j.submitted).Seconds())
+			}
 			e.cursor = (at + 1) % len(e.jobs)
 			return j, idx
 		}
@@ -143,6 +196,7 @@ func (e *Executor) pickLocked() (*execJob, int) {
 // task is done. Callers hold e.mu.
 func (e *Executor) finishLocked(j *execJob) {
 	j.running--
+	e.inFlight--
 	if j.next >= j.n && j.running == 0 {
 		for at, other := range e.jobs {
 			if other == j {

@@ -55,8 +55,17 @@ func TestExecutorBounds(t *testing.T) {
 		t.Errorf("maxParallel=1 job peaked at %d concurrent tasks", p)
 	}
 
-	if jobs, tasks := ex.Stats(); jobs != 9 || tasks != 8*6+8 {
-		t.Errorf("Stats() = (%d, %d), want (9, 56)", jobs, tasks)
+	st := ex.Stats()
+	if st.Jobs != 9 || st.Tasks != 8*6+8 {
+		t.Errorf("Stats() = (%d, %d), want (9, 56)", st.Jobs, st.Tasks)
+	}
+	// All work is drained: the snapshot must report an idle executor, and
+	// every job's queue wait was recorded exactly once.
+	if st.JobsActive != 0 || st.TasksQueued != 0 || st.TasksInFlight != 0 {
+		t.Errorf("drained executor reports backlog: %+v", st)
+	}
+	if qw := ex.QueueWait().Snapshot(); qw.Count != 9 {
+		t.Errorf("queue-wait observations = %d, want 9 (one per job)", qw.Count)
 	}
 }
 
@@ -114,7 +123,7 @@ func TestExecutorSolveEquivalence(t *testing.T) {
 			}
 		}
 	}
-	if _, tasks := ex.Stats(); tasks == 0 {
+	if ex.Stats().Tasks == 0 {
 		t.Error("executor saw no tasks — solves did not run on the shared pool")
 	}
 }

@@ -3,6 +3,7 @@ package solver
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 
 	"waso/internal/core"
 	"waso/internal/graph"
@@ -20,6 +21,9 @@ import (
 type WorkspacePool struct {
 	g    *graph.Graph
 	pool sync.Pool
+
+	gets   atomic.Uint64 // workspaces handed out
+	allocs atomic.Uint64 // of those, freshly allocated (pool misses)
 }
 
 // NewWorkspacePool returns an empty pool of workspaces for g. Pooled
@@ -27,8 +31,25 @@ type WorkspacePool struct {
 // whole-graph tasks and any region task (regions never exceed the graph).
 func NewWorkspacePool(g *graph.Graph) *WorkspacePool {
 	wp := &WorkspacePool{g: g}
-	wp.pool.New = func() any { return newWorkspace(g.N()) }
+	wp.pool.New = func() any {
+		wp.allocs.Add(1)
+		return newWorkspace(g.N())
+	}
 	return wp
+}
+
+// WorkspacePoolStats counts pool traffic: Gets is how many workspaces were
+// handed out, Allocs how many of those had to be freshly allocated (pool
+// misses — Gets−Allocs is the O(n) allocations the pool saved). Counters
+// are cumulative and safe to read concurrently.
+type WorkspacePoolStats struct {
+	Gets   uint64
+	Allocs uint64
+}
+
+// Stats returns the pool's cumulative traffic counters.
+func (wp *WorkspacePool) Stats() WorkspacePoolStats {
+	return WorkspacePoolStats{Gets: wp.gets.Load(), Allocs: wp.allocs.Load()}
 }
 
 // Graph returns the graph this pool allocates workspaces for.
@@ -36,6 +57,7 @@ func (wp *WorkspacePool) Graph() *graph.Graph { return wp.g }
 
 // get returns a workspace configured for req. The caller must put it back.
 func (wp *WorkspacePool) get(req core.Request, topSum []float64, useFen bool) *workspace {
+	wp.gets.Add(1)
 	ws := wp.pool.Get().(*workspace)
 	ws.configure(req, topSum, useFen)
 	return ws

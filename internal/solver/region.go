@@ -182,12 +182,14 @@ type RegionCache struct {
 	max      int
 	maxBytes int64
 
-	mu     sync.Mutex // guards the index; never held during extraction
-	lru    *list.List // front = most recently used, of *regionEntry
-	byKey  map[regionKey]*list.Element
-	bytes  int64
-	hits   uint64
-	misses uint64
+	mu        sync.Mutex // guards the index; never held during extraction
+	lru       *list.List // front = most recently used, of *regionEntry
+	byKey     map[regionKey]*list.Element
+	bytes     int64
+	hits      uint64
+	misses    uint64
+	negHits   uint64 // hits whose entry is a cached negative (r == nil)
+	evictions uint64 // entries dropped by the LRU/byte bounds
 
 	extractMu sync.Mutex // serializes misses over the shared builder scratch
 	rb        *graph.RegionBuilder
@@ -234,6 +236,9 @@ func (rc *RegionCache) Acquire(start graph.NodeID, radius int) *graph.Region {
 		rc.hits++
 		rc.lru.MoveToFront(el)
 		r := el.Value.(*regionEntry).r
+		if r == nil {
+			rc.negHits++
+		}
 		rc.mu.Unlock()
 		return r
 	}
@@ -271,16 +276,39 @@ func (rc *RegionCache) Acquire(start graph.NodeID, radius int) *graph.Region {
 		e := back.Value.(*regionEntry)
 		delete(rc.byKey, e.key)
 		rc.bytes -= regionBytes(e.r)
+		rc.evictions++
 	}
 	rc.mu.Unlock()
 	return r
 }
 
-// Stats reports cache effectiveness: hits, misses, and resident entries.
-func (rc *RegionCache) Stats() (hits, misses uint64, entries int) {
+// RegionCacheStats is one consistent snapshot of cache effectiveness.
+// NegativeHits is the subset of Hits that returned a cached negative (the
+// ball exceeded the cap, so the start solves whole-graph); Evictions
+// counts entries dropped by the entry or byte bound. A same-key miss that
+// was filled by a concurrent miss while waiting for the extraction lock
+// still counts as the one miss it classified as.
+type RegionCacheStats struct {
+	Hits         uint64
+	Misses       uint64
+	NegativeHits uint64
+	Evictions    uint64
+	Entries      int
+	Bytes        int64
+}
+
+// Stats reports cache effectiveness as one consistent snapshot.
+func (rc *RegionCache) Stats() RegionCacheStats {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
-	return rc.hits, rc.misses, rc.lru.Len()
+	return RegionCacheStats{
+		Hits:         rc.hits,
+		Misses:       rc.misses,
+		NegativeHits: rc.negHits,
+		Evictions:    rc.evictions,
+		Entries:      rc.lru.Len(),
+		Bytes:        rc.bytes,
+	}
 }
 
 // regionCacheCtxKey carries a *RegionCache through a context.

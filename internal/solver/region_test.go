@@ -139,17 +139,17 @@ func TestRegionCacheSolve(t *testing.T) {
 			}
 		}
 	}
-	hits, misses, entries := rc.Stats()
-	if misses == 0 || entries == 0 {
-		t.Fatalf("cache never filled: hits=%d misses=%d entries=%d", hits, misses, entries)
+	cs := rc.Stats()
+	if cs.Misses == 0 || cs.Entries == 0 {
+		t.Fatalf("cache never filled: %+v", cs)
 	}
-	if hits == 0 {
-		t.Errorf("repeated solves never hit the cache (misses=%d)", misses)
+	if cs.Hits == 0 {
+		t.Errorf("repeated solves never hit the cache (misses=%d)", cs.Misses)
 	}
 	// Same starts, same radius: every solve after the first is all hits,
 	// so misses stay at one per start (DefaultStarts = 8).
-	if misses > 8 {
-		t.Errorf("misses = %d, want at most one per start", misses)
+	if cs.Misses > 8 {
+		t.Errorf("misses = %d, want at most one per start", cs.Misses)
 	}
 	// A cache for a different graph must be ignored, not misapplied.
 	other := erInstance(t, 300, 2, 22)
@@ -174,25 +174,29 @@ func TestRegionCacheLRU(t *testing.T) {
 	rc := NewRegionCache(g, 2)
 	a := rc.Acquire(0, 2)
 	rc.Acquire(1, 2)
-	if _, _, entries := rc.Stats(); entries != 2 {
-		t.Fatalf("entries = %d, want 2", entries)
+	if st := rc.Stats(); st.Entries != 2 {
+		t.Fatalf("entries = %d, want 2", st.Entries)
 	}
 	rc.Acquire(0, 2) // refresh 0 → 1 is now LRU
 	rc.Acquire(2, 2) // evicts 1
-	if _, _, entries := rc.Stats(); entries != 2 {
-		t.Fatalf("entries = %d, want 2 after eviction", entries)
+	st := rc.Stats()
+	if st.Entries != 2 {
+		t.Fatalf("entries = %d, want 2 after eviction", st.Entries)
 	}
-	hitsBefore, _, _ := rc.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	hitsBefore := st.Hits
 	if got := rc.Acquire(0, 2); got != a {
 		t.Error("refreshed entry was evicted instead of the LRU one")
 	}
 	rc.Acquire(1, 2) // re-extracted: must be a miss
-	hitsAfter, misses, _ := rc.Stats()
-	if hitsAfter != hitsBefore+1 {
-		t.Errorf("hits %d → %d, want one hit for the refreshed key", hitsBefore, hitsAfter)
+	st = rc.Stats()
+	if st.Hits != hitsBefore+1 {
+		t.Errorf("hits %d → %d, want one hit for the refreshed key", hitsBefore, st.Hits)
 	}
-	if misses != 4 {
-		t.Errorf("misses = %d, want 4 (three first-touches plus one re-extraction)", misses)
+	if st.Misses != 4 {
+		t.Errorf("misses = %d, want 4 (three first-touches plus one re-extraction)", st.Misses)
 	}
 
 	// Byte budget: a cache whose resident regions exceed its byte bound
@@ -201,8 +205,8 @@ func TestRegionCacheLRU(t *testing.T) {
 	rcBytes.maxBytes = 1 // any real region busts it
 	rcBytes.Acquire(0, 2)
 	rcBytes.Acquire(1, 2)
-	if _, _, entries := rcBytes.Stats(); entries != 1 {
-		t.Errorf("byte-budget cache holds %d entries, want 1 (always keeps the newest)", entries)
+	if st := rcBytes.Stats(); st.Entries != 1 {
+		t.Errorf("byte-budget cache holds %d entries, want 1 (always keeps the newest)", st.Entries)
 	}
 
 	// Negative caching: a ball over the auto cap is remembered as nil.
@@ -214,8 +218,9 @@ func TestRegionCacheLRU(t *testing.T) {
 	if r := rcDense.Acquire(0, 10); r != nil {
 		t.Fatal("negative entry not cached")
 	}
-	if hits, misses, _ := rcDense.Stats(); hits != 1 || misses != 1 {
-		t.Errorf("negative caching: hits=%d misses=%d, want 1/1", hits, misses)
+	if st := rcDense.Stats(); st.Hits != 1 || st.Misses != 1 || st.NegativeHits != 1 {
+		t.Errorf("negative caching: hits=%d misses=%d neghits=%d, want 1/1/1",
+			st.Hits, st.Misses, st.NegativeHits)
 	}
 }
 
