@@ -287,18 +287,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	dst := out
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		dst = f
-	}
-	enc := json.NewEncoder(dst)
-	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	return writeReport(out, *outPath, rep)
 }
 
 // rowName renders one benchmark row name. Default sweep-axis values are
@@ -453,18 +442,31 @@ func runThroughput(cfg throughputConfig, outPath string, out io.Writer, args []s
 		}
 	}
 
-	dst := out
-	if outPath != "" {
-		f, err := os.Create(outPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		dst = f
+	return writeReport(out, outPath, rep)
+}
+
+// writeReport encodes rep as indented JSON to the file at outPath, or to
+// out when outPath is empty. Close is checked, not deferred: the OS may
+// only surface a write failure (a full disk, a vanished mount) at flush
+// time, and a swallowed Close error would leave a truncated report that
+// the compare gate then trusts.
+func writeReport(out io.Writer, outPath string, rep any) error {
+	if outPath == "" {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
 	}
-	enc := json.NewEncoder(dst)
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // servingSnapshot captures the cumulative counters of the serving

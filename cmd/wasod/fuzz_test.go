@@ -1,0 +1,37 @@
+package main
+
+import (
+	"errors"
+	"testing"
+
+	"waso/internal/service"
+)
+
+// FuzzDecodeRequest drives the serving-path request decoder with arbitrary
+// JSON. The error contract is what the httperrmap invariant depends on:
+// every decode failure must wrap service.ErrInvalid (so fail() maps it to
+// 400, never 500), decoding must never panic, and any accepted request
+// must survive Validate without panicking.
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"k": 5}`))
+	f.Add([]byte(`{"k": 5, "starts": 8, "samples": 50, "seed": 42, "alpha": 1.5, "sampler": "alias", "prune": true, "region": "auto", "workers": 2}`))
+	f.Add([]byte(`{"k": -1}`))
+	f.Add([]byte(`{"unknown_field": true}`)) // DisallowUnknownFields must reject
+	f.Add([]byte(`{"k": "five"}`))           // type mismatch
+	f.Add([]byte(`{"alpha": 1e400}`))        // numeric overflow
+	f.Add([]byte(`{"k": 5} trailing`))
+	f.Add([]byte(`[`))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		req, err := decodeRequest(raw)
+		if err != nil {
+			if !errors.Is(err, service.ErrInvalid) {
+				t.Fatalf("decode error does not wrap service.ErrInvalid (would surface as 500, not 400): %v", err)
+			}
+			return
+		}
+		_ = req.Validate() // must not panic on any decodable document
+	})
+}

@@ -90,7 +90,9 @@ func main() {
 		// Give in-flight solves their full deadline plus slack to finish.
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *timeout+5*time.Second)
 		defer cancel()
-		_ = srv.Shutdown(shutdownCtx)
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("wasod: shutdown: %v", err)
+		}
 	}()
 
 	log.Printf("wasod listening on %s", *addr)

@@ -1,0 +1,219 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"waso/internal/service"
+)
+
+// syncBuffer serializes writes so the access-log handler can be read back
+// safely after concurrent requests.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// newLoggedServer builds a test server whose access log lands in the
+// returned buffer (nil logBuf = access logging disabled, the -accesslog=false
+// configuration).
+func newLoggedServer(t *testing.T, logBuf *syncBuffer) (*httptest.Server, *service.Service) {
+	t.Helper()
+	svc := service.New(service.Config{})
+	t.Cleanup(svc.Close)
+	var logger *slog.Logger
+	if logBuf != nil {
+		logger = slog.New(slog.NewJSONHandler(logBuf, nil))
+	}
+	ts := httptest.NewServer(newMux(svc, 64<<20, 30*time.Second, false, logger))
+	t.Cleanup(ts.Close)
+	return ts, svc
+}
+
+// TestUnmatchedRouteLabel pins the cardinality guard: requests that hit no
+// registered pattern are all folded into the single "unmatched" route
+// label, so a URL-scanning client cannot mint unbounded metric families.
+func TestUnmatchedRouteLabel(t *testing.T) {
+	ts, _ := newLoggedServer(t, nil)
+	for _, path := range []string{"/nope", "/v1/bogus", "/admin/../etc"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `waso_http_requests_total{route="unmatched",code="404"} 3`
+	if !strings.Contains(string(body), want) {
+		t.Errorf("/metrics missing %q; unmatched requests are not folded into one label", want)
+	}
+	for _, leaked := range []string{`route="/nope"`, `route="/v1/bogus"`} {
+		if strings.Contains(string(body), leaked) {
+			t.Errorf("/metrics leaked client-controlled route label %s", leaked)
+		}
+	}
+}
+
+// TestRequestIDMintAndHonor pins both halves of the X-Request-ID contract:
+// a client-supplied id is echoed back untouched, and absent one the server
+// mints bootid-sequence ids that are unique per request.
+func TestRequestIDMintAndHonor(t *testing.T) {
+	ts, _ := newLoggedServer(t, nil)
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-ID", "client-supplied-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "client-supplied-42" {
+		t.Errorf("client-supplied request id not honored: got %q", got)
+	}
+
+	mintRx := regexp.MustCompile(`^[0-9a-f]{8}-[0-9]{6,}$`)
+	seen := make(map[string]bool)
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		id := resp.Header.Get("X-Request-ID")
+		if !mintRx.MatchString(id) {
+			t.Errorf("minted request id %q does not match bootid-sequence shape", id)
+		}
+		if seen[id] {
+			t.Errorf("minted request id %q repeated", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestAccessLogLineShape decodes one access-log line and checks every
+// field the operator contract promises: id, method, route (the pattern,
+// not the URL), path, status, bytes and elapsed_ms.
+func TestAccessLogLineShape(t *testing.T) {
+	var logBuf syncBuffer
+	ts, _ := newLoggedServer(t, &logBuf)
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-ID", "log-shape-test")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	lines := strings.Split(strings.TrimSpace(logBuf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("got %d access-log lines, want exactly 1:\n%s", len(lines), logBuf.String())
+	}
+	var line struct {
+		Msg       string   `json:"msg"`
+		ID        string   `json:"id"`
+		Method    string   `json:"method"`
+		Route     string   `json:"route"`
+		Path      string   `json:"path"`
+		Status    int      `json:"status"`
+		Bytes     int64    `json:"bytes"`
+		ElapsedMS *float64 `json:"elapsed_ms"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &line); err != nil {
+		t.Fatalf("access-log line is not JSON: %v\n%s", err, lines[0])
+	}
+	if line.Msg != "request" {
+		t.Errorf("msg = %q, want \"request\"", line.Msg)
+	}
+	if line.ID != "log-shape-test" {
+		t.Errorf("id = %q, want the request's X-Request-ID", line.ID)
+	}
+	if line.Method != http.MethodGet {
+		t.Errorf("method = %q, want GET", line.Method)
+	}
+	if line.Route != "/healthz" {
+		t.Errorf("route = %q, want the matched pattern \"/healthz\"", line.Route)
+	}
+	if line.Path != "/healthz" {
+		t.Errorf("path = %q, want \"/healthz\"", line.Path)
+	}
+	if line.Status != http.StatusOK {
+		t.Errorf("status = %d, want 200", line.Status)
+	}
+	if line.Bytes <= 0 {
+		t.Errorf("bytes = %d, want > 0 (healthz writes a body)", line.Bytes)
+	}
+	if line.ElapsedMS == nil || *line.ElapsedMS < 0 {
+		t.Errorf("elapsed_ms missing or negative: %v", line.ElapsedMS)
+	}
+
+	// Unmatched routes log the folded label too, keeping log and metric
+	// route vocabularies identical.
+	resp2, err := http.Get(ts.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if !strings.Contains(logBuf.String(), `"route":"unmatched"`) {
+		t.Errorf("404 access-log line missing route=unmatched:\n%s", logBuf.String())
+	}
+}
+
+// TestAccessLogDisabled pins the -accesslog=false configuration: a nil
+// logger must mean no per-request output at all, while metrics and
+// request-id tagging keep working.
+func TestAccessLogDisabled(t *testing.T) {
+	ts, _ := newLoggedServer(t, nil)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Error("request-id tagging should survive -accesslog=false")
+	}
+	// No buffer to inspect by construction — the contract here is that the
+	// nil-logger path does not panic and still serves; the metrics side is
+	// covered by TestUnmatchedRouteLabel.
+	resp2, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body, _ := io.ReadAll(resp2.Body)
+	if !strings.Contains(string(body), `waso_http_requests_total{route="/healthz",code="200"}`) {
+		t.Error("metrics should keep recording with access logging disabled")
+	}
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// moduleRoot walks up from the test's directory to the go.mod root.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+// buildLint compiles the wasolint binary into a temp dir.
+func buildLint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "wasolint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building wasolint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestVetToolProtocol drives the built binary through the real go vet
+// -vettool protocol: the repo's own packages must come back clean, and the
+// deliberately violating determinism fixture must fail with the analyzer's
+// name in the output — the same two behaviors the CI lint job relies on.
+func TestVetToolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to go vet")
+	}
+	bin := buildLint(t)
+	root := moduleRoot(t)
+
+	clean := exec.Command("go", "vet", "-vettool="+bin, "./internal/...", "./cmd/...")
+	clean.Dir = root
+	if out, err := clean.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool on the real tree should pass, got: %v\n%s", err, out)
+	}
+
+	dirty := exec.Command("go", "vet", "-vettool="+bin, "./internal/lint/testdata/determinism")
+	dirty.Dir = root
+	out, err := dirty.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool on the violating fixture should fail, output:\n%s", out)
+	}
+	for _, needle := range []string{"[determinism]", "time.Now", "range over map"} {
+		if !strings.Contains(string(out), needle) {
+			t.Errorf("vet output missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+// TestStandaloneMode runs the binary without go vet in front of it.
+func TestStandaloneMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and loads packages")
+	}
+	bin := buildLint(t)
+	root := moduleRoot(t)
+
+	clean := exec.Command(bin, "./internal/...", "./cmd/...")
+	clean.Dir = root
+	if out, err := clean.CombinedOutput(); err != nil {
+		t.Fatalf("standalone wasolint on the real tree should pass, got: %v\n%s", err, out)
+	}
+
+	dirty := exec.Command(bin, "./internal/lint/testdata/httperrmap")
+	dirty.Dir = root
+	out, err := dirty.CombinedOutput()
+	if err == nil {
+		t.Fatalf("standalone wasolint on the violating fixture should fail, output:\n%s", out)
+	}
+	if !strings.Contains(string(out), "[httperrmap]") {
+		t.Errorf("output missing [httperrmap]:\n%s", out)
+	}
+}

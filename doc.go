@@ -49,6 +49,14 @@
 //	          -pprof), and cmd/wasobench (large-graph scaling benchmarks
 //	          and the -throughput serving replay, whose rows carry
 //	          scraped metric deltas).
+//	lint    — off to the side of the tower: internal/lint and its driver
+//	          cmd/wasolint machine-check the conventions the layers above
+//	          rely on (solver result-path determinism, the waso_ metric
+//	          catalogue, wasod's fail()/statusOf error mapping, ctx
+//	          observation in exported entry points). The analysis layer
+//	          only observes the codebase — nothing outside cmd/wasolint
+//	          and the lint tests imports it, and it imports nothing from
+//	          the tower.
 //
 // gen (synthetic instances, §5) feeds graphs into cmd and service;
 // sampling/rng/bitset/stats/metrics are the shared substrate — metrics

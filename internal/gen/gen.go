@@ -228,6 +228,7 @@ func PreferentialAttachment(n, m int, sc Scores, seed uint64) (*graph.Graph, err
 		// Attach in ascending target order so the τ draw sequence is a
 		// deterministic function of the chosen set, not of map iteration.
 		ordered := make([]graph.NodeID, 0, targets)
+		//lint:allow determinism(key collection only; sortNodeIDs below fixes the order before any draw)
 		for u := range chosen {
 			ordered = append(ordered, u)
 		}

@@ -113,6 +113,7 @@ func (b *Builder) Build() (*Graph, error) {
 		}
 	}
 	keys := make([]key, 0, len(edges))
+	//lint:allow determinism(key collection only; keys are sorted below before any layout depends on order)
 	for k := range edges {
 		keys = append(keys, k)
 	}

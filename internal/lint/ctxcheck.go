@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxCheck asserts that exported Solve-shaped entry points — exported
+// functions and methods whose first parameter is a context.Context — keep
+// their cancellation promise: if any loop is reachable from the function
+// (a call-graph walk within its package), so must be a consultation of the
+// context — ctx.Err(), ctx.Done() or ctx.Deadline() — or a hand-off of the
+// context to code outside the package (another layer, an interface method,
+// a function value), which carries the obligation with it.
+//
+// This is the mechanical form of the PR 2 contract ("cancellation and
+// deadlines are observed between starts and between samples"): a new
+// solver whose Solve loops over starts without ever consulting ctx — the
+// classic way an unbounded request pins a worker — fails lint, not a
+// production incident. Entry points whose reachable loops are small and
+// bounded by construction carry //lint:allow ctxcheck(reason).
+var CtxCheck = &Analyzer{
+	Name: "ctxcheck",
+	Doc: "exported ctx-taking entry points must reach ctx.Err/ctx.Done (or forward " +
+		"ctx across the package boundary) whenever loops are reachable",
+	Run: runCtxCheck,
+}
+
+func runCtxCheck(pass *Pass) error {
+	graph := buildCallGraph(pass)
+	for _, fd := range graph.sortedDecls() {
+		fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		if fn == nil || !fd.Name.IsExported() {
+			continue
+		}
+		sig := fn.Type().(*types.Signature)
+		if sig.Params().Len() == 0 || !isContextType(sig.Params().At(0).Type()) {
+			continue
+		}
+		reach := graph.reachable([]*types.Func{fn})
+		hasLoop, consults := false, false
+		for target := range reach {
+			decl := graph.decls[target]
+			loop, ok := pass.scanCtxUse(decl, graph)
+			hasLoop = hasLoop || loop
+			consults = consults || ok
+			if consults {
+				break
+			}
+		}
+		if hasLoop && !consults {
+			pass.Reportf(fd.Pos(),
+				"exported %s takes a context but no ctx.Err/ctx.Done/ctx.Deadline consultation (or cross-package "+
+					"ctx hand-off) is reachable from its loops; observe ctx between iterations or "+
+					"//lint:allow ctxcheck(reason) if every reachable loop is bounded", fd.Name.Name)
+		}
+	}
+	return nil
+}
+
+// scanCtxUse walks one declaration's body and reports whether it contains
+// any loop, and whether it consults a context (method call on a
+// context.Context value) or forwards one to a callee outside the package's
+// own declarations (excluding package context itself, whose constructors
+// derive contexts without consulting them).
+func (p *Pass) scanCtxUse(fd *ast.FuncDecl, graph *callGraph) (hasLoop, consults bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			hasLoop = true
+		case *ast.CallExpr:
+			if p.isCtxConsultation(n) || p.isCtxEscape(n, graph) {
+				consults = true
+			}
+		}
+		return true
+	})
+	return hasLoop, consults
+}
+
+// isCtxConsultation reports a method call on a context value: ctx.Err(),
+// ctx.Done(), ctx.Deadline(), or ctx.Value() on any expression of type
+// context.Context.
+func (p *Pass) isCtxConsultation(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Err", "Done", "Deadline":
+	default:
+		return false
+	}
+	return isContextType(p.typeOf(sel.X))
+}
+
+// isCtxEscape reports a call that passes a context.Context argument to a
+// callee this package does not declare — an interface method, a function
+// value, or another package (except package context: deriving a context
+// does not consult it). The receiving side inherits the obligation, which
+// the layer above it is expected to lint the same way.
+func (p *Pass) isCtxEscape(call *ast.CallExpr, graph *callGraph) bool {
+	passesCtx := false
+	for _, arg := range call.Args {
+		if isContextType(p.typeOf(arg)) {
+			passesCtx = true
+			break
+		}
+	}
+	if !passesCtx {
+		return false
+	}
+	fn := calleeFunc(p.TypesInfo, call)
+	if fn == nil {
+		return true // function value or built-in: unresolvable, assume it observes ctx
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "context" {
+		return false
+	}
+	_, declaredHere := graph.decls[fn]
+	return !declaredHere // cross-package or interface callee carries the obligation
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}

@@ -1,0 +1,47 @@
+// Package lint is the repo's custom static-analysis suite: four analyzers
+// that turn this codebase's load-bearing conventions — determinism of the
+// solver result path, the waso_ metric catalogue, the wasod error-mapping
+// contract, and context cancellation in Solve-shaped entry points — into
+// machine-checked invariants enforced at lint time rather than review
+// time.
+//
+// # Analyzers
+//
+//   - determinism: forbids wall-clock reads, global math/rand, map ranges
+//     and multi-channel selects in the call graph reachable from
+//     Solve/execTask inside the result-path packages (internal/solver,
+//     internal/sampling, internal/graph, internal/gen).
+//   - metricshygiene: every metrics.Registry registration must use a
+//     waso_-prefixed string-literal name catalogued (with the right type)
+//     in cmd/wasod/testdata/metric_names.txt.
+//   - httperrmap: cmd/wasod error responses must go through
+//     fail()/statusOf, never http.Error or a direct 4xx/5xx WriteHeader.
+//   - ctxcheck: exported ctx-taking entry points with reachable loops must
+//     consult ctx.Err/ctx.Done/ctx.Deadline or forward ctx across the
+//     package boundary.
+//
+// False positives are suppressed in place with //lint:allow name(reason);
+// the reason is mandatory and reviewed like code.
+//
+// # Layering
+//
+// The package deliberately mirrors golang.org/x/tools/go/analysis —
+// Analyzer{Name, Doc, Run}, Pass, Diagnostic — without importing it, so
+// the module keeps its zero-dependency property; if the upstream framework
+// ever becomes available the analyzers port mechanically. Three layers
+// stack strictly downward:
+//
+//	cmd/wasolint            driver: standalone multichecker + go vet
+//	                        -vettool unit-checking protocol
+//	internal/lint/linttest  fixture harness (tests only; analysistest
+//	                        analogue)
+//	internal/lint           analyzers, loader (go list + go/types), and
+//	                        the //lint:allow machinery
+//
+// internal/lint imports nothing from the rest of the module and nothing
+// from it imports internal/lint except cmd/wasolint and the tests — the
+// analysis layer observes the codebase, it is never a build dependency of
+// it. Fixture packages under testdata/ are invisible to ./... wildcards
+// and load only when named explicitly (by the fixture tests and the
+// acceptance checks in cmd/wasolint).
+package lint

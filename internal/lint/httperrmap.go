@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+)
+
+// HTTPErrMap guards the serving-path error contract fixed in PR 5: every
+// error response wasod writes goes through fail() — and so through
+// statusOf, the single sentinel-to-status map (ErrInvalid→400,
+// ErrNotFound→404, ErrExists→409, deadline→504, everything
+// unrecognized→500). A handler that calls http.Error or writes a 4xx/5xx
+// status directly bypasses that map and reintroduces exactly the
+// 500-as-400 mislabeling the fix removed, invisible to clients until an
+// outage is misfiled as their fault.
+//
+// The analyzer covers cmd/wasod handler code: direct http.Error calls and
+// WriteHeader calls whose argument is a compile-time constant ≥ 400 are
+// flagged. The chokepoints themselves — fail, statusOf, writeJSON, and
+// WriteHeader methods of response-writer wrappers — are exempt, since they
+// are where the mapped status legitimately reaches the wire.
+var HTTPErrMap = &Analyzer{
+	Name: "httperrmap",
+	Doc:  "route wasod error responses through fail()/statusOf, never http.Error or a direct 4xx/5xx WriteHeader",
+	Run:  runHTTPErrMap,
+}
+
+// httpErrMapExempt are the sanctioned chokepoint functions (and any
+// WriteHeader method, which is a wrapper forwarding an already-mapped
+// code).
+var httpErrMapExempt = map[string]bool{
+	"fail":        true,
+	"statusOf":    true,
+	"writeJSON":   true,
+	"WriteHeader": true,
+}
+
+func runHTTPErrMap(pass *Pass) error {
+	if !pathMatches(pass.Pkg.Path(), "cmd/wasod") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || httpErrMapExempt[fd.Name.Name] {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isPkgLevelCall(pass.TypesInfo, call, "net/http", "Error") {
+					pass.Reportf(call.Pos(),
+						"http.Error bypasses the statusOf error map; wrap the error in the right sentinel and call fail(w, err)")
+					return true
+				}
+				pass.checkWriteHeader(call)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkWriteHeader flags WriteHeader calls with a constant error status.
+func (p *Pass) checkWriteHeader(call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "WriteHeader" || len(call.Args) != 1 {
+		return
+	}
+	if fn := calleeFunc(p.TypesInfo, call); fn == nil {
+		return // not a resolved method call
+	}
+	tv, ok := p.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return // dynamic status: assumed to come from statusOf
+	}
+	code, ok := constant.Int64Val(tv.Value)
+	if !ok || code < 400 {
+		return
+	}
+	p.Reportf(call.Pos(),
+		"direct WriteHeader(%d) bypasses the statusOf error map; wrap the error in the right sentinel and call fail(w, err)", code)
+}

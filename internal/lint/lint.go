@@ -1,0 +1,274 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named repo-invariant check over a typechecked package.
+// The shape deliberately mirrors golang.org/x/tools/go/analysis.Analyzer —
+// Name, Doc, Run(pass) — so the suite can migrate to the upstream framework
+// wholesale if the dependency ever becomes available; until then the
+// driver, loader and vet protocol live in this repo with zero external
+// dependencies.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow name(reason) suppression comments. Lowercase, no spaces.
+	Name string
+	// Doc is the one-paragraph description the multichecker prints.
+	Doc string
+	// Run reports diagnostics on pass via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// All returns the full wasolint suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, MetricsHygiene, HTTPErrMap, CtxCheck}
+}
+
+// Diagnostic is one finding: a resolved position plus the message.
+type Diagnostic struct {
+	Pos     token.Position
+	Message string
+}
+
+// Pass holds one typechecked package being analyzed plus the diagnostic
+// sink. Files contains only non-test files — test code is exempt from every
+// repo invariant the suite guards (tests may use wall clocks, ad-hoc status
+// writes, and so on).
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags  []Diagnostic
+	allows map[string]map[int]bool // filename → line → allow present for this analyzer
+}
+
+// allowRx matches the suppression convention: //lint:allow name(reason).
+// The reason is mandatory — an empty pair of parens does not suppress —
+// because an unexplained exemption is exactly the reviewed-in-heads state
+// this suite exists to eliminate.
+var allowRx = regexp.MustCompile(`^//lint:allow\s+([a-z0-9_]+)\(\s*(\S[^)]*)\)`)
+
+// buildAllows indexes every //lint:allow comment for pass.Analyzer by file
+// and line. A diagnostic is suppressed when an allow for its analyzer sits
+// on the same line or the line directly above it (trailing comment or a
+// dedicated comment line, respectively).
+func (p *Pass) buildAllows() {
+	p.allows = make(map[string]map[int]bool)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRx.FindStringSubmatch(c.Text)
+				if m == nil || m[1] != p.Analyzer.Name {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				lines := p.allows[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]bool)
+					p.allows[pos.Filename] = lines
+				}
+				lines[pos.Line] = true
+			}
+		}
+	}
+}
+
+// suppressed reports whether a diagnostic at pos carries an allow.
+func (p *Pass) suppressed(pos token.Position) bool {
+	lines := p.allows[pos.Filename]
+	return lines != nil && (lines[pos.Line] || lines[pos.Line-1])
+}
+
+// Reportf records a diagnostic at pos unless a //lint:allow comment for
+// this analyzer covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppressed(position) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{Pos: position, Message: fmt.Sprintf(format, args...)})
+}
+
+// Run executes one analyzer over one loaded package and returns its
+// diagnostics sorted by position.
+func Run(a *Analyzer, pkg *LoadedPackage) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Pkg,
+		TypesInfo: pkg.Info,
+	}
+	pass.buildAllows()
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Pkg.Path(), err)
+	}
+	sort.Slice(pass.diags, func(i, j int) bool {
+		a, b := pass.diags[i].Pos, pass.diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return pass.diags, nil
+}
+
+// ---------------------------------------------------------------------------
+// Shared type-resolution helpers
+
+// typeOf resolves the type of an expression, consulting the Types map
+// first and falling back to the identifier's object — some go/types code
+// paths record plain identifier uses only in Uses/Defs.
+func (p *Pass) typeOf(e ast.Expr) types.Type {
+	if tv, ok := p.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.TypesInfo.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := p.TypesInfo.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes, when
+// that is statically known (package functions, methods, imported
+// functions). Calls through function values or built-ins return nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgLevelCall reports whether call invokes the package-level function
+// pkgPath.name (not a method).
+func isPkgLevelCall(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// pathMatches reports whether the package import path ends in one of the
+// given suffixes, or belongs to this suite's own testdata fixtures (which
+// opt into every analyzer so flagged and suppressed cases can be exercised
+// outside the real tree).
+func pathMatches(pkgPath string, suffixes ...string) bool {
+	if strings.Contains(pkgPath, "lint/testdata/") {
+		return true
+	}
+	for _, s := range suffixes {
+		if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Intra-package call graph
+
+// callGraph records, per package-level function (or method) declared in the
+// pass, every other package-level function it references — by direct call
+// or by value (a function passed as an argument is an edge, which is how
+// indirect dispatch through stored function values stays covered).
+// References made inside function literals attribute to the enclosing
+// declaration, so closures inherit their encloser's reachability.
+type callGraph struct {
+	decls map[*types.Func]*ast.FuncDecl
+	refs  map[*types.Func][]*types.Func
+}
+
+// buildCallGraph indexes every function declaration of the pass.
+func buildCallGraph(pass *Pass) *callGraph {
+	g := &callGraph{
+		decls: make(map[*types.Func]*ast.FuncDecl),
+		refs:  make(map[*types.Func][]*types.Func),
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				g.decls[fn] = fd
+			}
+		}
+	}
+	for fn, fd := range g.decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if target, ok := pass.TypesInfo.Uses[id].(*types.Func); ok {
+				if _, declared := g.decls[target]; declared && target != fn {
+					g.refs[fn] = append(g.refs[fn], target)
+				}
+			}
+			return true
+		})
+	}
+	return g
+}
+
+// reachable returns the set of declared functions reachable from roots
+// (roots included).
+func (g *callGraph) reachable(roots []*types.Func) map[*types.Func]bool {
+	seen := make(map[*types.Func]bool)
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if seen[fn] {
+			return
+		}
+		seen[fn] = true
+		for _, next := range g.refs[fn] {
+			visit(next)
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	return seen
+}
+
+// sortedDecls returns the graph's declarations in source order, so analyzer
+// output is deterministic.
+func (g *callGraph) sortedDecls() []*ast.FuncDecl {
+	out := make([]*ast.FuncDecl, 0, len(g.decls))
+	for _, fd := range g.decls {
+		out = append(out, fd)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}

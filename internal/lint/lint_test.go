@@ -1,0 +1,54 @@
+package lint_test
+
+import (
+	"testing"
+
+	"waso/internal/lint"
+	"waso/internal/lint/linttest"
+)
+
+// The fixture tests pin down, per analyzer, both sides of the contract:
+// what gets flagged (// want expectations) and what the
+// //lint:allow name(reason) escape hatch suppresses (annotated fixture
+// sites that must stay silent).
+
+func TestDeterminismFixture(t *testing.T) {
+	linttest.Run(t, lint.Determinism, "./testdata/determinism")
+}
+
+func TestMetricsHygieneFixture(t *testing.T) {
+	linttest.Run(t, lint.MetricsHygiene, "./testdata/metricshygiene")
+}
+
+func TestHTTPErrMapFixture(t *testing.T) {
+	linttest.Run(t, lint.HTTPErrMap, "./testdata/httperrmap")
+}
+
+func TestCtxCheckFixture(t *testing.T) {
+	linttest.Run(t, lint.CtxCheck, "./testdata/ctxcheck")
+}
+
+// TestRepoClean runs the whole suite over the real tree: the repo must
+// lint clean, with every legitimate exemption carrying its //lint:allow
+// annotation. A regression here is exactly what the CI lint job would
+// reject.
+func TestRepoClean(t *testing.T) {
+	pkgs, err := lint.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading ./...: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	for _, pkg := range pkgs {
+		for _, a := range lint.All() {
+			diags, err := lint.Run(a, pkg)
+			if err != nil {
+				t.Fatalf("running %s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+			for _, d := range diags {
+				t.Errorf("%s: [%s] %s", d.Pos, a.Name, d.Message)
+			}
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Package linttest is the fixture harness for the internal/lint suite — a
+// minimal analogue of golang.org/x/tools/go/analysis/analysistest. A
+// fixture package under internal/lint/testdata marks each line it expects
+// a diagnostic on with a trailing
+//
+//	// want `regexp`
+//
+// comment. Run loads the fixture, executes one analyzer, and fails the
+// test if any diagnostic lacks a matching expectation on its line or any
+// expectation goes unmatched — so fixtures simultaneously pin down what
+// the analyzer flags and what the //lint:allow escape hatch suppresses.
+package linttest
+
+import (
+	"go/ast"
+	"regexp"
+	"testing"
+
+	"waso/internal/lint"
+)
+
+// wantRx extracts the backquoted pattern of one expectation comment.
+var wantRx = regexp.MustCompile("// want `([^`]+)`")
+
+// expectation is one // want comment: a compiled pattern at a line.
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package at pkgdir (a path relative to the calling
+// test's directory, e.g. "./testdata/determinism"), runs a over it, and
+// matches diagnostics against the fixture's want comments. Every
+// diagnostic must be covered by an expectation on its exact line, and
+// every expectation must match at least one diagnostic.
+func Run(t *testing.T, a *lint.Analyzer, pkgdir string) {
+	t.Helper()
+	pkgs, err := lint.Load(".", pkgdir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkgdir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages loaded from %s", pkgdir)
+	}
+	for _, pkg := range pkgs {
+		wants := collectWants(t, pkg)
+		diags, err := lint.Run(a, pkg)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+		for _, d := range diags {
+			if !matchWant(wants, d) {
+				t.Errorf("%s: unexpected diagnostic: [%s] %s", d.Pos, a.Name, d.Message)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s:%d: expected a diagnostic matching %q, got none", w.file, w.line, w.rx)
+			}
+		}
+	}
+}
+
+// collectWants parses every // want comment of the fixture package.
+func collectWants(t *testing.T, pkg *lint.LoadedPackage) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				wants = append(wants, parseWant(t, pkg, c)...)
+			}
+		}
+	}
+	return wants
+}
+
+// parseWant turns one comment into its expectations (usually zero or one).
+func parseWant(t *testing.T, pkg *lint.LoadedPackage, c *ast.Comment) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, m := range wantRx.FindAllStringSubmatch(c.Text, -1) {
+		rx, err := regexp.Compile(m[1])
+		if err != nil {
+			pos := pkg.Fset.Position(c.Pos())
+			t.Fatalf("%s: bad want pattern %q: %v", pos, m[1], err)
+		}
+		pos := pkg.Fset.Position(c.Pos())
+		wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, rx: rx})
+	}
+	return wants
+}
+
+// matchWant marks and reports an expectation covering d. Several
+// diagnostics at one line may share one expectation (a moments
+// registration expands to five families, for example).
+func matchWant(wants []*expectation, d lint.Diagnostic) bool {
+	ok := false
+	for _, w := range wants {
+		if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.rx.MatchString(d.Message) {
+			w.matched = true
+			ok = true
+		}
+	}
+	return ok
+}

@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// MetricsHygiene enforces the metric-family contract from the
+// observability layer: every family registered on a metrics.Registry —
+// NewCounter, NewGauge, NewHistogram, NewMoments, GaugeFunc, CounterFunc,
+// RegisterHistogram — must name itself with a string literal prefixed
+// "waso_", and every family it renders must already appear, with the same
+// type, in the checked-in catalogue cmd/wasod/testdata/metric_names.txt.
+//
+// The catalogue is the dashboard contract: TestMetricsExposition and the
+// CI smoke diff the live /metrics family set against it at test time. This
+// analyzer moves the same drift detection to lint time — an uncatalogued
+// or renamed family fails `go vet -vettool` before any server boots — and
+// adds what the test cannot check: that names are literals (greppable,
+// never concatenated from request data) under one namespace prefix.
+//
+// Moments families expand to their five derived series (_count, _mean,
+// _stddev, _min, _max), matching how the registry renders them and how the
+// catalogue lists them.
+var MetricsHygiene = &Analyzer{
+	Name: "metricshygiene",
+	Doc: "require waso_-prefixed string-literal metric names that appear in " +
+		"cmd/wasod/testdata/metric_names.txt",
+	Run: runMetricsHygiene,
+}
+
+// catalogueRel locates the metric catalogue relative to the module root.
+const catalogueRel = "cmd/wasod/testdata/metric_names.txt"
+
+// registryMethods maps each registration method of metrics.Registry to the
+// suffixes of the families it renders ("" = the name itself) and the
+// exposition type of each.
+var registryMethods = map[string][]struct{ suffix, typ string }{
+	"NewCounter":        {{"", "counter"}},
+	"CounterFunc":       {{"", "counter"}},
+	"NewGauge":          {{"", "gauge"}},
+	"GaugeFunc":         {{"", "gauge"}},
+	"NewHistogram":      {{"", "histogram"}},
+	"RegisterHistogram": {{"", "histogram"}},
+	"NewMoments": {
+		{"_count", "counter"},
+		{"_mean", "gauge"},
+		{"_stddev", "gauge"},
+		{"_min", "gauge"},
+		{"_max", "gauge"},
+	},
+}
+
+func runMetricsHygiene(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pass.checkRegistration(call)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkRegistration validates one call if it is a Registry registration.
+func (p *Pass) checkRegistration(call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	families, ok := registryMethods[sel.Sel.Name]
+	if !ok || len(call.Args) == 0 {
+		return
+	}
+	selection := p.TypesInfo.Selections[sel]
+	if selection == nil || !isMetricsRegistry(selection.Recv()) {
+		return
+	}
+
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		p.Reportf(call.Args[0].Pos(),
+			"metric name passed to Registry.%s must be a string literal so the catalogue stays greppable "+
+				"and label cardinality stays bounded", sel.Sel.Name)
+		return
+	}
+	name := strings.Trim(lit.Value, "`\"")
+	if !strings.HasPrefix(name, "waso_") {
+		p.Reportf(lit.Pos(), "metric name %q must carry the waso_ namespace prefix", name)
+		return
+	}
+
+	catalogue, cataloguePath, err := catalogueFor(p.Fset.Position(lit.Pos()).Filename)
+	if err != nil {
+		p.Reportf(lit.Pos(), "cannot verify metric name %q against the catalogue: %v", name, err)
+		return
+	}
+	for _, fam := range families {
+		famName := name + fam.suffix
+		gotTyp, listed := catalogue[famName]
+		switch {
+		case !listed:
+			p.Reportf(lit.Pos(),
+				"metric family %q is not in the catalogue %s; add it there (and to the README table) in the same change",
+				famName, cataloguePath)
+		case gotTyp != fam.typ:
+			p.Reportf(lit.Pos(),
+				"metric family %q is registered as a %s but catalogued as a %s in %s",
+				famName, fam.typ, gotTyp, cataloguePath)
+		}
+	}
+}
+
+// isMetricsRegistry reports whether t is (a pointer to) the
+// internal/metrics Registry type.
+func isMetricsRegistry(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Registry" &&
+		strings.HasSuffix(named.Obj().Pkg().Path(), "internal/metrics")
+}
+
+// catalogueCache memoizes parsed catalogues per module root, so one lint
+// run over many packages reads the file once.
+var catalogueCache sync.Map // root dir → catalogueEntry
+
+type catalogueEntry struct {
+	names map[string]string // family name → exposition type
+	path  string
+	err   error
+}
+
+// catalogueFor walks up from the analyzed file to the module root (the
+// directory holding go.mod) and parses the metric catalogue there. Works
+// identically whether the analyzer runs standalone, under go vet, or on
+// the testdata fixtures — they all live under the same module root.
+func catalogueFor(filename string) (map[string]string, string, error) {
+	dir := filepath.Dir(filename)
+	if !filepath.IsAbs(dir) {
+		if abs, err := filepath.Abs(dir); err == nil {
+			dir = abs
+		}
+	}
+	root := dir
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		root = parent
+	}
+	if e, ok := catalogueCache.Load(root); ok {
+		entry := e.(catalogueEntry)
+		return entry.names, entry.path, entry.err
+	}
+	path := filepath.Join(root, filepath.FromSlash(catalogueRel))
+	entry := catalogueEntry{path: catalogueRel}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		entry.err = err
+	} else {
+		entry.names = make(map[string]string)
+		for _, line := range strings.Split(string(data), "\n") {
+			fields := strings.Fields(line)
+			if len(fields) == 2 {
+				entry.names[fields[0]] = fields[1]
+			}
+		}
+	}
+	catalogueCache.Store(root, entry)
+	return entry.names, entry.path, entry.err
+}

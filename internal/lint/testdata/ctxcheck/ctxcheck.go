@@ -1,0 +1,70 @@
+// Package ctxcheck is the analyzer fixture: exported ctx-taking entry
+// points with reachable loops must consult the context or hand it across
+// the package boundary; bounded loops use the //lint:allow escape hatch.
+package ctxcheck
+
+import "context"
+
+// SolveLoops loops without ever consulting ctx — the classic way an
+// unbounded request pins a worker.
+func SolveLoops(ctx context.Context, n int) int { // want `exported SolveLoops takes a context`
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// SolvePolite consults ctx between iterations.
+func SolvePolite(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			return total
+		}
+		total += i
+	}
+	return total
+}
+
+// SolveViaHelper reaches both the loop and the consultation through an
+// unexported helper: the obligation is checked over the call graph, not
+// the body alone.
+func SolveViaHelper(ctx context.Context, n int) int {
+	return politeHelper(ctx, n)
+}
+
+func politeHelper(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		select {
+		case <-ctx.Done():
+			return total
+		default:
+		}
+		total += i
+	}
+	return total
+}
+
+// SolveHandsOff forwards ctx to a function value; the receiving side
+// inherits the cancellation obligation.
+func SolveHandsOff(ctx context.Context, work func(context.Context) error) error {
+	for {
+		if err := work(ctx); err != nil {
+			return err
+		}
+	}
+}
+
+// SolveBounded's only loop runs a fixed three iterations, so it carries
+// the documented exemption.
+//
+//lint:allow ctxcheck(fixture: bounded three-iteration loop)
+func SolveBounded(ctx context.Context) int {
+	total := 0
+	for i := 0; i < 3; i++ {
+		total += i
+	}
+	return total
+}

@@ -1,0 +1,63 @@
+// Package determinism is the analyzer fixture: flagged sites carry
+// `// want` expectations, sanctioned sites carry //lint:allow comments,
+// and notReachable shows the call-graph scoping (clock reads outside the
+// Solve result path are not findings).
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Solve is a result-path root: it and everything reachable from it is
+// checked.
+func Solve(m map[int]int, a, b chan int) int {
+	began := time.Now() // want `call to time\.Now in a result path`
+	total := helper(m)
+	select { // want `select over 2 channels in a result path`
+	case v := <-a:
+		total += v
+	case v := <-b:
+		total += v
+	}
+	total += rand.Intn(10)       // want `call to global rand\.Intn in a result path`
+	total += seededDraw()        // seeded sub-stream draws are fine
+	_ = allowedTiming(m)         // suppressed sites, see below
+	elapsed := time.Since(began) // want `call to time\.Since in a result path`
+	_ = elapsed
+	return total
+}
+
+// helper is reachable from Solve, so its map range is flagged.
+func helper(m map[int]int) int {
+	total := 0
+	for _, v := range m { // want `range over map in a result path`
+		total += v
+	}
+	return total
+}
+
+// seededDraw uses an explicitly seeded generator — the sanctioned form.
+func seededDraw() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(10)
+}
+
+// allowedTiming carries the escape hatch on every site the analyzer would
+// otherwise flag.
+func allowedTiming(m map[int]int) time.Duration {
+	began := time.Now() //lint:allow determinism(fixture: advisory timing only)
+	keys := make([]int, 0, len(m))
+	//lint:allow determinism(fixture: keys are sorted before use)
+	for k := range m {
+		keys = append(keys, k)
+	}
+	_ = keys
+	return time.Since(began) //lint:allow determinism(fixture: advisory timing only)
+}
+
+// notReachable is not reachable from Solve, so its clock read is outside
+// the result path and not a finding.
+func notReachable() time.Time { return time.Now() }
+
+var _ = notReachable

@@ -1,0 +1,42 @@
+// Package httperrmap is the analyzer fixture: direct error writes are
+// flagged, the fail/statusOf/writeJSON chokepoints and 2xx statuses are
+// exempt, and the //lint:allow escape hatch suppresses.
+package httperrmap
+
+import (
+	"errors"
+	"net/http"
+)
+
+func badHandler(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want `http\.Error bypasses the statusOf error map`
+	w.WriteHeader(http.StatusBadRequest)                  // want `direct WriteHeader\(400\) bypasses the statusOf error map`
+	w.WriteHeader(502)                                    // want `direct WriteHeader\(502\)`
+}
+
+func okHandler(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusNoContent) // success statuses are fine
+	fail(w, errors.New("mapped"))
+}
+
+// fail is the sanctioned chokepoint: writes inside it are exempt because
+// its status came through the error map.
+func fail(w http.ResponseWriter, err error) {
+	http.Error(w, err.Error(), statusOf(err))
+}
+
+// statusOf is the single sentinel-to-status map (also exempt).
+func statusOf(err error) int {
+	return http.StatusInternalServerError
+}
+
+func allowedLegacy(w http.ResponseWriter) {
+	//lint:allow httperrmap(fixture: exercising the escape hatch)
+	w.WriteHeader(http.StatusTeapot)
+}
+
+var (
+	_ = badHandler
+	_ = okHandler
+	_ = allowedLegacy
+)

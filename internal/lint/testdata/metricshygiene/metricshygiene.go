@@ -1,0 +1,24 @@
+// Package metricshygiene is the analyzer fixture: registrations against
+// the real catalogue (cmd/wasod/testdata/metric_names.txt at the module
+// root), covering the literal, prefix, membership and type checks plus the
+// //lint:allow escape hatch.
+package metricshygiene
+
+import "waso/internal/metrics"
+
+func register(r *metrics.Registry) {
+	r.NewCounter("waso_http_requests_total", "catalogued counter")
+	r.NewMoments("waso_solve_group_size", "catalogued moments family; all five derived series listed")
+	r.NewGauge("http_inflight", "missing namespace")    // want `must carry the waso_ namespace prefix`
+	r.NewCounter("waso_bogus_total", "uncatalogued")    // want `metric family "waso_bogus_total" is not in the catalogue`
+	r.NewGauge("waso_http_requests_total", "bad type")  // want `registered as a gauge but catalogued as a counter`
+	r.NewMoments("waso_solve_seconds", "bad expansion") // want `metric family "waso_solve_seconds_(count|mean|stddev|min|max)" is not in the catalogue`
+	name := "waso_" + computedSuffix()
+	r.NewCounter(name, "not a literal") // want `must be a string literal`
+	//lint:allow metricshygiene(fixture: exercising the escape hatch)
+	r.NewCounter("waso_suppressed_total", "uncatalogued but explicitly allowed")
+}
+
+func computedSuffix() string { return "dynamic_total" }
+
+var _ = register

@@ -153,6 +153,7 @@ func (e *Executor) run(maxParallel, n int, fn func(idx int)) bool {
 	if maxParallel < 1 {
 		maxParallel = 1
 	}
+	//lint:allow determinism(queue-wait telemetry timestamp; never reaches task scheduling or results)
 	j := &execJob{fn: fn, n: n, maxParallel: maxParallel, done: make(chan struct{}), submitted: time.Now()}
 	e.mu.Lock()
 	if e.closed {
