@@ -119,9 +119,20 @@ func run(args []string, out io.Writer) error {
 		cmpTol   = fs.Float64("compare-tolerance", 1.25, "compare mode: fail when new/old ns_per_op exceeds this ratio")
 
 		throughput = fs.Bool("throughput", false, "serving-replay mode: fire concurrent solve requests at a resident graph and report QPS + latency percentiles")
-		concs      = fs.String("concurrency", "1,8,32", "throughput mode: comma-separated concurrent client counts")
+		concs      = fs.String("concurrency", "1,8,32", "throughput mode: comma-separated concurrent client counts (overload mode uses the largest as its closed-loop client count)")
 		requests   = fs.Int("requests", 256, "throughput mode: total solve requests per configuration")
 		execModes  = fs.String("execmodes", "shared,private", "throughput mode: scheduler modes to sweep (shared = one bounded executor, private = per-request pools)")
+
+		overload    = fs.Bool("overload", false, "overload-smoke mode: drive a live wasod (-url) through calibrate/overdrive/cooldown phases and assert shed-don't-collapse")
+		urlFlag     = fs.String("url", "", "overload mode: base URL of the running wasod server")
+		graphID     = fs.String("graph", "bench-overload", "overload mode: graph id to create (or reuse) on the server")
+		phaseDur    = fs.Duration("phase", 3*time.Second, "overload mode: duration of each phase")
+		odFactor    = fs.Float64("overdrive-factor", 4, "overload mode: open-loop arrival rate as a multiple of the calibrated rate")
+		arrivalRate = fs.Float64("arrival-rate", 0, "overload mode: explicit open-loop arrivals/s (0 = overdrive-factor × calibrated)")
+		p99Factor   = fs.Float64("p99-factor", 3, "overload mode: overdrive non-shed p99 must stay within this multiple of the unloaded p99")
+		goodputFrac = fs.Float64("goodput-frac", 0.7, "overload mode: overdrive goodput floor as a fraction of the calibrated rate")
+		maxInflight = fs.Int("max-inflight", 1024, "overload mode: client-side cap on open-loop in-flight requests")
+		solveTO     = fs.Int64("solve-timeout-ms", 10000, "overload mode: per-request timeout_ms sent with each solve")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -166,6 +177,56 @@ func run(args []string, out io.Writer) error {
 		if _, err := solver.New(algoNames[i]); err != nil {
 			return err
 		}
+	}
+
+	if *overload {
+		if *throughput {
+			return fmt.Errorf("-overload and -throughput are mutually exclusive")
+		}
+		if *urlFlag == "" {
+			return fmt.Errorf("-overload needs -url of a running wasod")
+		}
+		// The default -algos is a sweep; overload drives one algorithm, so
+		// take its first entry unless the user explicitly asked for more.
+		algosSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "algos" {
+				algosSet = true
+			}
+		})
+		if !algosSet {
+			algoNames = algoNames[:1]
+		}
+		if len(sizes) > 1 || len(kSweep) > 1 || len(algoNames) > 1 || len(modes) > 1 {
+			return fmt.Errorf("-overload drives a single configuration; got sweeps n=%q ks=%q algos=%q regions=%q",
+				*ns, *ks, *algos, *regions)
+		}
+		concList, err := parseInts(*concs)
+		if err != nil {
+			return fmt.Errorf("-concurrency: %w", err)
+		}
+		clients := 0
+		for _, c := range concList {
+			if c > clients {
+				clients = c
+			}
+		}
+		if *phaseDur <= 0 {
+			return fmt.Errorf("-phase must be > 0, got %v", *phaseDur)
+		}
+		if *odFactor <= 1 && *arrivalRate <= 0 {
+			return fmt.Errorf("-overdrive-factor must be > 1 (or set -arrival-rate), got %g", *odFactor)
+		}
+		cfg := overloadConfig{
+			url: *urlFlag, graphID: *graphID,
+			genKind: *genKind, n: sizes[0], avgDeg: *avgDeg, seed: *seed,
+			algo: algoNames[0], k: kSweep[0], starts: *starts, samples: *samples,
+			timeoutMS: *solveTO,
+			conc:      clients, phase: *phaseDur,
+			factor: *odFactor, rate: *arrivalRate, maxInflight: *maxInflight,
+			p99Factor: *p99Factor, goodputFrac: *goodputFrac,
+		}
+		return runOverload(cfg, *outPath, out, args)
 	}
 
 	if *throughput {

@@ -1,0 +1,426 @@
+package main
+
+// Overload mode: a closed-loop + open-loop harness that drives a LIVE
+// wasod server (-url) through three phases and asserts the overload
+// contract — shed, don't collapse:
+//
+//  1. calibrate: closed-loop clients (each fires its next request when
+//     the previous answers) measure the sustainable rate and unloaded
+//     latency. Closed loops cannot overload a server — offered load
+//     self-clamps to capacity — which is exactly what makes the phase a
+//     fair baseline.
+//  2. overdrive: open-loop arrivals at -overdrive-factor × the calibrated
+//     rate (or an explicit -arrival-rate). Arrivals do not wait for
+//     responses, so queues grow unless admission control sheds. The
+//     gate: some requests ARE shed (429/503), the p99 of the answered
+//     (non-shed) requests stays within -p99-factor of the unloaded p99,
+//     and goodput holds -goodput-frac of the calibrated rate.
+//  3. cooldown: the calibration load again. The gate: zero shed — the
+//     controller released once pressure dropped (hysteresis works).
+//
+// Each phase also brackets the server's waso_shed_total from /metrics, so
+// the report ties client-observed rejections to the server's own counter.
+// The process exits nonzero when any assertion fails — this is the CI
+// overload smoke gate.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"slices"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// overloadConfig parameterizes one overload run.
+type overloadConfig struct {
+	url     string
+	graphID string
+
+	// Instance and request shape (shared with the other modes' flags).
+	genKind   string
+	n         int
+	avgDeg    float64
+	seed      uint64
+	algo      string
+	k, starts int
+	samples   int
+	timeoutMS int64
+
+	// Load shape.
+	conc        int           // closed-loop clients (calibrate, cooldown)
+	phase       time.Duration // duration of each phase
+	factor      float64       // overdrive multiple of the calibrated rate
+	rate        float64       // explicit overdrive arrivals/s (0 = factor × calibrated)
+	maxInflight int           // open-loop in-flight cap (client-side collapse guard)
+
+	// Gates.
+	p99Factor   float64 // overdrive non-shed p99 ≤ this × unloaded p99
+	goodputFrac float64 // overdrive goodput ≥ this × calibrated rate
+}
+
+// phaseStats is one phase's outcome tallies and non-shed latency profile.
+type phaseStats struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	Sent    int     `json:"sent"`
+	OK      int     `json:"ok"`
+	Shed    int     `json:"shed"`              // 429 + 503 responses
+	Errors  int     `json:"errors"`            // transport failures and non-shed error statuses
+	Stalled int     `json:"stalled,omitempty"` // open loop: arrivals dropped at the in-flight cap
+	QPS     float64 `json:"qps"`               // sent / wall
+	Goodput float64 `json:"goodput_qps"`       // ok / wall
+	P50Ns   float64 `json:"p50_ns,omitempty"`
+	P95Ns   float64 `json:"p95_ns,omitempty"`
+	P99Ns   float64 `json:"p99_ns,omitempty"` // percentiles of OK responses only
+
+	// ShedTotalDelta is the server-side waso_shed_total movement across
+	// the phase, scraped from /metrics.
+	ShedTotalDelta float64 `json:"waso_shed_total_delta"`
+}
+
+// overloadReport is the JSON document overload mode writes.
+type overloadReport struct {
+	Date          string       `json:"date"`
+	Goos          string       `json:"goos"`
+	Goarch        string       `json:"goarch"`
+	Command       string       `json:"command"`
+	Note          string       `json:"note"`
+	URL           string       `json:"url"`
+	CalibratedQPS float64      `json:"calibrated_qps"`
+	UnloadedP99Ns float64      `json:"unloaded_p99_ns"`
+	OfferedQPS    float64      `json:"offered_qps"` // overdrive arrival rate
+	Phases        []phaseStats `json:"phases"`
+	Pass          bool         `json:"pass"`
+	Failures      []string     `json:"failures,omitempty"`
+}
+
+// runOverload executes the three phases against cfg.url and returns an
+// error when any shed-don't-collapse assertion fails (after writing the
+// report, so a failing run still leaves its evidence).
+func runOverload(cfg overloadConfig, outPath string, out io.Writer, args []string) error {
+	// The default transport keeps only two idle connections per host, so
+	// at overdrive arrival rates nearly every request would pay a fresh
+	// TCP handshake — load-generator overhead the latency gate would then
+	// misread as server collapse. Size the idle pool to the in-flight cap
+	// so connections are reused across the whole phase.
+	cl := &overloadClient{
+		url: strings.TrimRight(cfg.url, "/"),
+		http: &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        cfg.maxInflight + cfg.conc,
+				MaxIdleConnsPerHost: cfg.maxInflight + cfg.conc,
+			},
+		},
+		cfg: cfg,
+	}
+	if err := cl.ensureGraph(); err != nil {
+		return err
+	}
+
+	rep := overloadReport{
+		Date:    time.Now().UTC().Format("2006-01-02"),
+		Goos:    runtime.GOOS,
+		Goarch:  runtime.GOARCH,
+		Command: "wasobench " + strings.Join(args, " "),
+		URL:     cfg.url,
+		Note: fmt.Sprintf("Overload smoke: calibrate (closed loop, %d clients) -> overdrive (open loop, "+
+			"%.1fx calibrated arrivals) -> cooldown (closed loop). Gates: overdrive sheds (429/503 seen and "+
+			"waso_shed_total moved), non-shed p99 <= %.1fx unloaded p99, goodput >= %.0f%% of calibrated, "+
+			"zero shed during cooldown. %s n=%d, %s k=%d, %d starts x %d samples per request.",
+			cfg.conc, cfg.factor, cfg.p99Factor, cfg.goodputFrac*100,
+			cfg.genKind, cfg.n, cfg.algo, cfg.k, cfg.starts, cfg.samples),
+	}
+
+	calibrate, err := cl.closedLoop("calibrate", cfg.conc, cfg.phase)
+	if err != nil {
+		return err
+	}
+	rep.Phases = append(rep.Phases, calibrate)
+	rep.CalibratedQPS = calibrate.Goodput
+	rep.UnloadedP99Ns = calibrate.P99Ns
+	if calibrate.OK == 0 {
+		return fmt.Errorf("overload: calibration produced no successful responses (%d sent, %d shed, %d errors)",
+			calibrate.Sent, calibrate.Shed, calibrate.Errors)
+	}
+
+	rate := cfg.rate
+	if rate <= 0 {
+		rate = cfg.factor * calibrate.Goodput
+	}
+	rep.OfferedQPS = rate
+	overdrive, err := cl.openLoop("overdrive", rate, cfg.phase, cfg.maxInflight)
+	if err != nil {
+		return err
+	}
+	rep.Phases = append(rep.Phases, overdrive)
+
+	cooldown, err := cl.closedLoop("cooldown", cfg.conc, cfg.phase)
+	if err != nil {
+		return err
+	}
+	rep.Phases = append(rep.Phases, cooldown)
+
+	// The gates. Collect every failure rather than stopping at the first:
+	// a collapsing server usually trips several, and the full list is the
+	// diagnosis.
+	var fails []string
+	if overdrive.Shed == 0 || overdrive.ShedTotalDelta == 0 {
+		fails = append(fails, fmt.Sprintf(
+			"overdrive at %.0f qps shed nothing (client saw %d, waso_shed_total moved %.0f) — admission control inactive",
+			rate, overdrive.Shed, overdrive.ShedTotalDelta))
+	}
+	if overdrive.OK == 0 {
+		fails = append(fails, "overdrive answered zero requests — full collapse or full shed")
+	} else {
+		if limit := cfg.p99Factor * calibrate.P99Ns; overdrive.P99Ns > limit {
+			fails = append(fails, fmt.Sprintf(
+				"non-shed p99 %.0fms exceeds %.1fx unloaded p99 %.0fms — accepted work is collapsing",
+				overdrive.P99Ns/1e6, cfg.p99Factor, calibrate.P99Ns/1e6))
+		}
+		if floor := cfg.goodputFrac * calibrate.Goodput; overdrive.Goodput < floor {
+			fails = append(fails, fmt.Sprintf(
+				"overdrive goodput %.1f qps under %.0f%% of calibrated %.1f qps — shedding ate the capacity",
+				overdrive.Goodput, cfg.goodputFrac*100, calibrate.Goodput))
+		}
+	}
+	if cooldown.Shed > 0 || cooldown.ShedTotalDelta > 0 {
+		fails = append(fails, fmt.Sprintf(
+			"cooldown still shedding (client saw %d, waso_shed_total moved %.0f) — controller latched past the overload",
+			cooldown.Shed, cooldown.ShedTotalDelta))
+	}
+	if cooldown.OK == 0 {
+		fails = append(fails, "cooldown answered zero requests — server did not recover")
+	}
+	rep.Pass = len(fails) == 0
+	rep.Failures = fails
+
+	for _, p := range rep.Phases {
+		fmt.Fprintf(os.Stderr, "wasobench: overload %-10s sent %6d  ok %6d  shed %6d  err %4d  goodput %8.1f qps  p99 %8.1f ms  shed_total +%.0f\n",
+			p.Name, p.Sent, p.OK, p.Shed, p.Errors, p.Goodput, p.P99Ns/1e6, p.ShedTotalDelta)
+	}
+	if err := writeReport(out, outPath, rep); err != nil {
+		return err
+	}
+	if !rep.Pass {
+		return fmt.Errorf("overload: %d assertion(s) failed:\n  %s", len(fails), strings.Join(fails, "\n  "))
+	}
+	fmt.Fprintf(os.Stderr, "wasobench: overload PASS — calibrated %.1f qps, overdrove at %.0f qps, non-shed p99 %.1fms (unloaded %.1fms)\n",
+		rep.CalibratedQPS, rep.OfferedQPS, overdrive.P99Ns/1e6, calibrate.P99Ns/1e6)
+	return nil
+}
+
+// overloadClient fires solve requests at one wasod server and classifies
+// the outcomes.
+type overloadClient struct {
+	url  string
+	http *http.Client
+	cfg  overloadConfig
+	seq  atomic.Uint64 // per-request seed variation
+}
+
+type outcome int
+
+const (
+	outcomeOK outcome = iota
+	outcomeShed
+	outcomeErr
+)
+
+// ensureGraph makes the benchmark graph resident (201) or confirms it
+// already is (409).
+func (c *overloadClient) ensureGraph() error {
+	body := fmt.Sprintf(`{"id":%q,"generate":{"kind":%q,"n":%d,"avgdeg":%g,"seed":%d}}`,
+		c.cfg.graphID, c.cfg.genKind, c.cfg.n, c.cfg.avgDeg, c.cfg.seed)
+	resp, err := c.http.Post(c.url+"/v1/graphs", "application/json", strings.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("overload: creating graph at %s: %w", c.url, err)
+	}
+	defer resp.Body.Close()
+	blob, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusConflict {
+		return fmt.Errorf("overload: creating graph: %d %s", resp.StatusCode, blob)
+	}
+	return nil
+}
+
+// solve fires one solve request and classifies the response. 429 and 503
+// are shed (the overload contract's "polite no"); anything else non-200,
+// and transport failures, are errors.
+func (c *overloadClient) solve() (outcome, time.Duration) {
+	seed := c.cfg.seed + c.seq.Add(1)
+	body := fmt.Sprintf(`{"graph":%q,"algo":%q,"timeout_ms":%d,"request":{"k":%d,"starts":%d,"samples":%d,"seed":%d}}`,
+		c.cfg.graphID, c.cfg.algo, c.cfg.timeoutMS, c.cfg.k, c.cfg.starts, c.cfg.samples, seed)
+	t0 := time.Now()
+	resp, err := c.http.Post(c.url+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		return outcomeErr, time.Since(t0)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	d := time.Since(t0)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return outcomeOK, d
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		return outcomeShed, d
+	default:
+		return outcomeErr, d
+	}
+}
+
+// shedTotal scrapes waso_shed_total from the server's /metrics.
+func (c *overloadClient) shedTotal() (float64, error) {
+	resp, err := c.http.Get(c.url + "/metrics")
+	if err != nil {
+		return 0, fmt.Errorf("overload: scraping /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(blob), "\n") {
+		if rest, ok := strings.CutPrefix(line, "waso_shed_total "); ok {
+			return strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		}
+	}
+	return 0, fmt.Errorf("overload: waso_shed_total not found on %s/metrics", c.url)
+}
+
+// tally accumulates outcomes across one phase's request goroutines.
+type tally struct {
+	mu       sync.Mutex
+	ok, shed int
+	errs     int
+	lat      []float64 // ns, OK responses only
+}
+
+func (t *tally) add(o outcome, d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch o {
+	case outcomeOK:
+		t.ok++
+		t.lat = append(t.lat, float64(d.Nanoseconds()))
+	case outcomeShed:
+		t.shed++
+	default:
+		t.errs++
+	}
+}
+
+// finish converts a tally into phaseStats, bracketing the server's shed
+// counter.
+func (t *tally) finish(name string, wall time.Duration, sent, stalled int, shedBefore, shedAfter float64) phaseStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sorted := append([]float64(nil), t.lat...)
+	slices.Sort(sorted)
+	p := phaseStats{
+		Name:           name,
+		Seconds:        wall.Seconds(),
+		Sent:           sent,
+		OK:             t.ok,
+		Shed:           t.shed,
+		Errors:         t.errs,
+		Stalled:        stalled,
+		QPS:            float64(sent) / wall.Seconds(),
+		Goodput:        float64(t.ok) / wall.Seconds(),
+		ShedTotalDelta: shedAfter - shedBefore,
+	}
+	if len(sorted) > 0 {
+		p.P50Ns = percentile(sorted, 50)
+		p.P95Ns = percentile(sorted, 95)
+		p.P99Ns = percentile(sorted, 99)
+	}
+	return p
+}
+
+// closedLoop runs clients back-to-back request loops for d: offered load
+// self-clamps to the server's capacity, measuring it.
+func (c *overloadClient) closedLoop(name string, clients int, d time.Duration) (phaseStats, error) {
+	shedBefore, err := c.shedTotal()
+	if err != nil {
+		return phaseStats{}, err
+	}
+	var t tally
+	var sent atomic.Int64
+	deadline := time.Now().Add(d)
+	var wg sync.WaitGroup
+	began := time.Now()
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				sent.Add(1)
+				t.add(c.solve())
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(began)
+	shedAfter, err := c.shedTotal()
+	if err != nil {
+		return phaseStats{}, err
+	}
+	return t.finish(name, wall, int(sent.Load()), 0, shedBefore, shedAfter), nil
+}
+
+// openLoop fires arrivals at a fixed rate for d without waiting for
+// responses — the load shape that actually overloads a server. In-flight
+// requests are capped at maxInflight; arrivals past the cap are counted
+// stalled, not silently dropped (a stalled client is itself a collapse
+// symptom the report should show).
+func (c *overloadClient) openLoop(name string, rate float64, d time.Duration, maxInflight int) (phaseStats, error) {
+	if rate <= 0 {
+		return phaseStats{}, fmt.Errorf("overload: open-loop rate must be > 0, got %g", rate)
+	}
+	shedBefore, err := c.shedTotal()
+	if err != nil {
+		return phaseStats{}, err
+	}
+	var t tally
+	sem := make(chan struct{}, maxInflight)
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	sent, stalled := 0, 0
+	var wg sync.WaitGroup
+	began := time.Now()
+	deadline := began.Add(d)
+	next := began
+	for now := began; now.Before(deadline); now = time.Now() {
+		if now.Before(next) {
+			time.Sleep(next.Sub(now))
+		}
+		next = next.Add(interval)
+		select {
+		case sem <- struct{}{}:
+			sent++
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				t.add(c.solve())
+			}()
+		default:
+			stalled++
+		}
+	}
+	wg.Wait()
+	wall := time.Since(began)
+	shedAfter, err := c.shedTotal()
+	if err != nil {
+		return phaseStats{}, err
+	}
+	return t.finish(name, wall, sent, stalled, shedBefore, shedAfter), nil
+}

@@ -31,13 +31,18 @@ import (
 	"fmt"
 	"log"
 	"log/slog"
+	"math/rand"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
+	"waso/internal/admit"
 	"waso/internal/core"
 	"waso/internal/gen"
 	"waso/internal/graph"
@@ -55,6 +60,17 @@ func main() {
 		maxRegions = flag.Int("maxregions", 0, "search-region cache entries per resident graph (0 = default, negative = disable caching)")
 		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default: profiling endpoints are operator tools, not public API)")
 		accessLog  = flag.Bool("accesslog", true, "emit one structured access-log line per request to stderr")
+
+		admitQueue     = flag.Int("admit-queue", 4096, "executor task-queue depth at which requests are shed with 429 (0 = no queue cap)")
+		admitInflight  = flag.Int("admit-inflight", 0, "max concurrently admitted solves across all clients (bounds admitted-request latency on a saturated machine; 0 = unlimited)")
+		admitP99       = flag.Duration("admit-p99", 0, "queue-wait p99 above which shedding latches (0 = no latency shedding)")
+		admitWindow    = flag.Duration("admit-window", 10*time.Second, "sliding window for the latency-shedding p99")
+		admitClientMax = flag.Int("admit-client-max", 0, "max concurrent solves per client (X-Client-ID or remote address; 0 = unlimited)")
+		degrade        = flag.Bool("degrade", false, "under pressure, clamp sample/start budgets and annotate reports instead of shedding")
+		degradeSamples = flag.Int("degrade-samples", 200, "sample budget applied to degraded solves")
+		degradeStarts  = flag.Int("degrade-starts", 1, "start budget applied to degraded solves")
+		retryAfter     = flag.Duration("retry-after", time.Second, "base Retry-After backoff hint on shed responses (jittered per response)")
+		drainGrace     = flag.Duration("drain-grace", time.Second, "after SIGTERM, keep serving with /healthz at 503 this long before closing the listener, so load balancers observe the drain and rotate the instance out")
 	)
 	flag.Parse()
 
@@ -64,6 +80,17 @@ func main() {
 		MaxNodes:       *maxNodes,
 		MaxEdges:       *maxEdges,
 		MaxRegions:     *maxRegions,
+		Admit: admit.Config{
+			MaxQueue:       *admitQueue,
+			MaxInflight:    *admitInflight,
+			P99Limit:       *admitP99,
+			Window:         *admitWindow,
+			ClientMax:      *admitClientMax,
+			Degrade:        *degrade,
+			DegradeSamples: *degradeSamples,
+			DegradeStarts:  *degradeStarts,
+			RetryAfter:     *retryAfter,
+		},
 	})
 	defer svc.Close()
 	var logger *slog.Logger
@@ -81,13 +108,27 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	drained := make(chan struct{})
 	go func() {
 		defer close(drained)
 		<-ctx.Done()
-		// Give in-flight solves their full deadline plus slack to finish.
+		// Graceful drain, in order: flip the service into drain mode —
+		// /healthz goes 503 so load balancers rotate this instance out, and
+		// every new solve is shed with 503 + Retry-After while in-flight
+		// solves keep running — hold that state for the grace window
+		// (Shutdown closes the listener AND idle keep-alive connections
+		// immediately, so without the window no prober would ever observe
+		// the draining 503) — then Shutdown, which stops accepting
+		// connections and waits for in-flight handlers up to the solve
+		// deadline plus slack. The deferred svc.Close then drains the
+		// executor itself, so no accepted solve is ever abandoned.
+		svc.StartDrain()
+		log.Printf("wasod: draining (grace %s; in-flight solves get up to %s)", *drainGrace, *timeout+5*time.Second)
+		if *drainGrace > 0 {
+			time.Sleep(*drainGrace)
+		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *timeout+5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -155,11 +196,20 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // error-rate monitoring.
 func statusOf(err error) int {
 	var tooBig *http.MaxBytesError
+	var overload *service.OverloadError
 	switch {
 	// Decode sites wrap body errors in ErrInvalid, so the body-size check
 	// must outrank it or an oversized body would report 400 instead of 413.
 	case errors.As(err, &tooBig):
 		return http.StatusRequestEntityTooLarge
+	case errors.As(err, &overload):
+		// Shed work is 429 Too Many Requests; a draining server is 503 —
+		// it will not take new work however lightly loaded, so clients
+		// should fail over, not back off and retry here.
+		if overload.Reason == admit.ReasonDrain {
+			return http.StatusServiceUnavailable
+		}
+		return http.StatusTooManyRequests
 	case errors.Is(err, service.ErrInvalid):
 		return http.StatusBadRequest
 	case errors.Is(err, service.ErrNotFound):
@@ -174,15 +224,38 @@ func statusOf(err error) int {
 	return http.StatusInternalServerError
 }
 
+// retryAfterSeconds jitters an overload backoff hint into whole seconds
+// (≥ 1): uniform over [base/2, 3·base/2), so a synchronized burst of shed
+// clients does not come back as a synchronized burst of retries.
+func retryAfterSeconds(base time.Duration) int {
+	jittered := base/2 + time.Duration(rand.Int63n(int64(base)))
+	if s := int(jittered / time.Second); s > 1 {
+		return s
+	}
+	return 1
+}
+
 // fail writes the uniform error envelope with the status of statusOf.
+// Overload rejections additionally carry a jittered Retry-After hint.
 func fail(w http.ResponseWriter, err error) {
+	var overload *service.OverloadError
+	if errors.As(err, &overload) && overload.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(overload.RetryAfter)))
+	}
 	writeJSON(w, statusOf(err), httpError{Error: err.Error()})
 }
 
 // health reports the serving summary: resident graphs, executor backlog
-// (the overload signal a load balancer should watch), and uptime.
+// (the overload signal a load balancer should watch), and uptime. A
+// draining server answers 503 — the readiness flip that tells load
+// balancers to rotate it out while in-flight work finishes.
 func (a *api) health(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, a.svc.Health())
+	h := a.svc.Health()
+	status := http.StatusOK
+	if h.Draining {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
 }
 
 // metrics renders the full registry as Prometheus text exposition.
@@ -276,11 +349,29 @@ func (a *api) evictGraph(w http.ResponseWriter, r *http.Request) {
 }
 
 // solveBody is the solve envelope. Request decodes over the paper defaults.
+// Priority ("interactive", the default, or "bulk") picks the scheduling
+// class: bulk work passes admission in the bulk class and drains behind
+// interactive solves on the executor.
 type solveBody struct {
 	Graph     string          `json:"graph"`
 	Algo      string          `json:"algo"`
 	TimeoutMS int64           `json:"timeout_ms,omitempty"`
+	Priority  string          `json:"priority,omitempty"`
 	Request   json.RawMessage `json:"request"`
+}
+
+// clientCtx tags ctx with the caller's identity for per-client admission
+// quotas: the X-Client-ID header when sent, else the remote host.
+func clientCtx(ctx context.Context, r *http.Request) context.Context {
+	id := r.Header.Get("X-Client-ID")
+	if id == "" {
+		if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+			id = host
+		} else {
+			id = r.RemoteAddr
+		}
+	}
+	return service.WithClient(ctx, id)
 }
 
 // solveResponse wraps the solver report with the request echo a client
@@ -338,6 +429,16 @@ func (a *api) solve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
+	ctx = clientCtx(ctx, r)
+	switch body.Priority {
+	case "", "interactive":
+	case "bulk":
+		ctx = service.WithBulkPriority(ctx)
+	default:
+		fail(w, fmt.Errorf("%w: priority must be \"interactive\" or \"bulk\", got %q",
+			service.ErrInvalid, body.Priority))
+		return
+	}
 	rep, err := a.svc.Solve(ctx, body.Graph, body.Algo, req)
 	if err != nil {
 		fail(w, err)
@@ -402,7 +503,7 @@ func (a *api) solveBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
-	reports, err := a.svc.SolveBatch(ctx, body.Graph, items)
+	reports, err := a.svc.SolveBatch(clientCtx(ctx, r), body.Graph, items)
 	if err != nil {
 		fail(w, err)
 		return

@@ -1,0 +1,358 @@
+package main
+
+// Overload-path tests: batch deadline consistency, 429/Retry-After on
+// shed, drain semantics, priority classification, and per-client quotas.
+// They drive the real mux against a test-only "sleepy" solver whose
+// duration is controlled per request, so deadline and concurrency windows
+// are deterministic instead of depending on solver speed.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"waso/internal/admit"
+	"waso/internal/core"
+	"waso/internal/graph"
+	"waso/internal/service"
+	"waso/internal/solver"
+)
+
+// sleepySolver sleeps Request.Samples milliseconds (honoring ctx) and
+// returns a fixed one-node solution. Deterministic, so it also survives
+// the Names()-sweep identity tests that run every registered solver.
+type sleepySolver struct{}
+
+var sleepyInflight atomic.Int32
+
+func init() { solver.Register("sleepy", func() solver.Solver { return sleepySolver{} }) }
+
+func (sleepySolver) Name() string { return "sleepy" }
+
+func (sleepySolver) Solve(ctx context.Context, _ *graph.Graph, req core.Request) (core.Report, error) {
+	sleepyInflight.Add(1)
+	defer sleepyInflight.Add(-1)
+	t := time.NewTimer(time.Duration(req.Samples) * time.Millisecond)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+		return core.Report{}, ctx.Err()
+	}
+	return core.Report{Algo: "sleepy", Best: core.NewSolution([]graph.NodeID{0}, 1), Starts: 1}, nil
+}
+
+// doHdr is doJSON plus request headers, returning the response headers too.
+func doHdr(t *testing.T, method, url, body string, hdr map[string]string) (int, []byte, http.Header) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, blob, resp.Header
+}
+
+// newServerWithService is newConfiguredServer but keeps the service handle
+// so tests can reach StartDrain and admission stats.
+func newServerWithService(t *testing.T, cfg service.Config) (*httptest.Server, *service.Service) {
+	t.Helper()
+	svc := service.New(cfg)
+	ts := httptest.NewServer(newMux(svc, 64<<20, 30*time.Second, false, nil))
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return ts, svc
+}
+
+func mustGenerate(t *testing.T, ts *httptest.Server, id string) {
+	t.Helper()
+	if status, body := doJSON(t, "POST", ts.URL+"/v1/graphs",
+		fmt.Sprintf(`{"id":%q,"generate":{"kind":"er","n":30,"avgdeg":2,"seed":1}}`, id)); status != http.StatusCreated {
+		t.Fatalf("generate: %d %s", status, body)
+	}
+}
+
+// TestBatchDeadlinePerItemHTTP locks in the batch-deadline contract: the
+// whole-batch response stays 200, and every item that exceeds (or never
+// starts before) the whole-batch deadline reports its own 504 with a
+// deadline error — never a mixed or whole-batch failure.
+func TestBatchDeadlinePerItemHTTP(t *testing.T) {
+	ts := newTestServer(t)
+	mustGenerate(t, ts, "g")
+
+	cases := []struct {
+		name      string
+		timeoutMS int64
+		sleepMS   []int // per-item sleepy duration
+		want      []int // per-item status
+	}{
+		{"no deadline", 0, []int{1, 1}, []int{200, 200}},
+		// Item 0 finishes well inside the 400ms budget; items 1–2 are
+		// still sleeping when it fires and must each answer 504.
+		{"mid-batch deadline", 400, []int{1, 5000, 5000}, []int{200, 504, 504}},
+		// The deadline is effectively pre-expired: no item can complete,
+		// whether it was dispatched before or after the ctx fired.
+		{"pre-expired deadline", 1, []int{500, 500, 500}, []int{504, 504, 504}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			items := make([]string, len(tc.sleepMS))
+			for i, ms := range tc.sleepMS {
+				items[i] = fmt.Sprintf(`{"algo":"sleepy","request":{"k":2,"samples":%d}}`, ms)
+			}
+			status, body := doJSON(t, "POST", ts.URL+"/v1/solve/batch",
+				fmt.Sprintf(`{"graph":"g","timeout_ms":%d,"items":[%s]}`,
+					tc.timeoutMS, strings.Join(items, ",")))
+			if status != http.StatusOK {
+				t.Fatalf("batch HTTP status %d %s, want 200 (item failures are per-item)", status, body)
+			}
+			var got struct {
+				Items []struct {
+					Status int          `json:"status"`
+					Report *core.Report `json:"report"`
+					Error  string       `json:"error"`
+				} `json:"items"`
+			}
+			if err := json.Unmarshal(body, &got); err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Items) != len(tc.want) {
+				t.Fatalf("got %d items, want %d", len(got.Items), len(tc.want))
+			}
+			for i, it := range got.Items {
+				if it.Status != tc.want[i] {
+					t.Errorf("item %d: status %d (error %q), want %d", i, it.Status, it.Error, tc.want[i])
+				}
+				switch tc.want[i] {
+				case http.StatusOK:
+					if it.Report == nil || it.Error != "" {
+						t.Errorf("item %d: ok item missing report or carrying error %q", i, it.Error)
+					}
+				case http.StatusGatewayTimeout:
+					if it.Report != nil {
+						t.Errorf("item %d: 504 item carries a report", i)
+					}
+					if !strings.Contains(it.Error, "deadline") {
+						t.Errorf("item %d: error %q does not mention the deadline", i, it.Error)
+					}
+				}
+			}
+		})
+	}
+}
+
+// waitSleepyInflight blocks until n sleepy solves are running.
+func waitSleepyInflight(t *testing.T, n int32) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for sleepyInflight.Load() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("sleepy inflight stuck at %d, want %d", sleepyInflight.Load(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// tryHdr is the non-fatal doHdr for goroutines other than the test
+// goroutine.
+func tryHdr(method, url, body string, hdr map[string]string) (int, []byte, error) {
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, blob, nil
+}
+
+// TestQuotaSheds429HTTP: with a 1-slot per-client quota, a second
+// concurrent solve from the same X-Client-ID is shed as 429 with a
+// jittered whole-second Retry-After hint, another client is unaffected,
+// and the slot frees when the first solve completes.
+func TestQuotaSheds429HTTP(t *testing.T) {
+	ts, svc := newServerWithService(t, service.Config{
+		DefaultTimeout: 30 * time.Second,
+		Admit:          admit.Config{ClientMax: 1, RetryAfter: 4 * time.Second},
+	})
+	mustGenerate(t, ts, "g")
+
+	const slowBody = `{"graph":"g","algo":"sleepy","request":{"k":2,"samples":3000}}`
+	const fastBody = `{"graph":"g","algo":"sleepy","request":{"k":2,"samples":1}}`
+	alice := map[string]string{"X-Client-ID": "alice"}
+
+	before := sleepyInflight.Load()
+	slow := make(chan error, 1)
+	go func() {
+		status, body, err := tryHdr("POST", ts.URL+"/v1/solve", slowBody, alice)
+		if err == nil && status != http.StatusOK {
+			err = fmt.Errorf("slow solve: %d %s", status, body)
+		}
+		slow <- err
+	}()
+	waitSleepyInflight(t, before+1)
+
+	// Same client, quota exhausted: 429 with a Retry-After whole-second
+	// integer jittered around the configured base (4s → [2s, 6s)).
+	status, body, hdr := doHdr(t, "POST", ts.URL+"/v1/solve", fastBody, alice)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("second alice solve: %d %s, want 429", status, body)
+	}
+	if !strings.Contains(string(body), "quota") {
+		t.Errorf("shed body %s does not name the quota reason", body)
+	}
+	ra, err := strconv.Atoi(hdr.Get("Retry-After"))
+	if err != nil || ra < 1 || ra >= 6 {
+		t.Errorf("Retry-After = %q, want integer seconds in [1, 6)", hdr.Get("Retry-After"))
+	}
+
+	// A different client has its own quota bucket.
+	if status, body, _ := doHdr(t, "POST", ts.URL+"/v1/solve", fastBody,
+		map[string]string{"X-Client-ID": "bob"}); status != http.StatusOK {
+		t.Errorf("bob's solve shed by alice's quota: %d %s", status, body)
+	}
+
+	if err := <-slow; err != nil {
+		t.Fatal(err)
+	}
+	// Slot released: alice solves again, and no client entries leaked.
+	if status, body, _ := doHdr(t, "POST", ts.URL+"/v1/solve", fastBody, alice); status != http.StatusOK {
+		t.Errorf("alice's solve after release: %d %s, want 200", status, body)
+	}
+	if st := svc.Admission(); st.Clients != 0 {
+		t.Errorf("%d client quota entries leaked", st.Clients)
+	}
+}
+
+// TestDrainHTTP: StartDrain flips /healthz to 503 (the readiness signal),
+// sheds new solve and batch work with 503 + Retry-After, and leaves
+// read-only endpoints serving.
+func TestDrainHTTP(t *testing.T) {
+	ts, svc := newServerWithService(t, service.Config{DefaultTimeout: 30 * time.Second})
+	mustGenerate(t, ts, "g")
+
+	if status, body := doJSON(t, "GET", ts.URL+"/healthz", ""); status != http.StatusOK {
+		t.Fatalf("healthz before drain: %d %s", status, body)
+	}
+	svc.StartDrain()
+
+	status, body := doJSON(t, "GET", ts.URL+"/healthz", "")
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain: %d, want 503", status)
+	}
+	if !strings.Contains(string(body), `"draining":true`) {
+		t.Errorf("healthz body %s does not report draining", body)
+	}
+
+	const solve = `{"graph":"g","algo":"sleepy","request":{"k":2,"samples":1}}`
+	st, body, hdr := doHdr(t, "POST", ts.URL+"/v1/solve", solve, nil)
+	if st != http.StatusServiceUnavailable {
+		t.Fatalf("solve during drain: %d %s, want 503", st, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("drained solve missing Retry-After hint")
+	}
+	if status, body := doJSON(t, "POST", ts.URL+"/v1/solve/batch",
+		`{"graph":"g","items":[{"algo":"sleepy","request":{"k":2,"samples":1}}]}`); status != http.StatusServiceUnavailable {
+		t.Errorf("batch during drain: %d %s, want 503", status, body)
+	}
+	// Reads stay up while in-flight work finishes.
+	if status, body := doJSON(t, "GET", ts.URL+"/v1/graphs", ""); status != http.StatusOK {
+		t.Errorf("graph list during drain: %d %s", status, body)
+	}
+	if status, _ := doJSON(t, "GET", ts.URL+"/metrics", ""); status != http.StatusOK {
+		t.Errorf("metrics during drain: %d", status)
+	}
+}
+
+// TestPriorityFieldHTTP: the solve envelope accepts "", "interactive" and
+// "bulk"; anything else is a 400 naming the field. Bulk solves land on the
+// executor's bulk lane.
+func TestPriorityFieldHTTP(t *testing.T) {
+	ts, svc := newServerWithService(t, service.Config{DefaultTimeout: 30 * time.Second})
+	mustGenerate(t, ts, "g")
+
+	for _, p := range []string{"", "interactive", "bulk"} {
+		body := `{"graph":"g","algo":"sleepy","request":{"k":2,"samples":1}}`
+		if p != "" {
+			body = fmt.Sprintf(`{"graph":"g","algo":"sleepy","priority":%q,"request":{"k":2,"samples":1}}`, p)
+		}
+		if status, blob := doJSON(t, "POST", ts.URL+"/v1/solve", body); status != http.StatusOK {
+			t.Errorf("priority %q: %d %s, want 200", p, status, blob)
+		}
+	}
+	status, body := doJSON(t, "POST", ts.URL+"/v1/solve",
+		`{"graph":"g","algo":"sleepy","priority":"urgent","request":{"k":2,"samples":1}}`)
+	if status != http.StatusBadRequest || !strings.Contains(string(body), "priority") {
+		t.Errorf("bad priority: %d %s, want 400 naming priority", status, body)
+	}
+
+	st := svc.Admission()
+	if st.Accepted == 0 || st.ShedTotal != 0 {
+		t.Errorf("admission stats after priority sweep: %+v", st)
+	}
+	// The priority field really picks the executor lane: run a sampling
+	// solver (sleepy never schedules executor tasks) in each class and
+	// check the per-lane job counters on /metrics.
+	for _, p := range []string{"interactive", "bulk"} {
+		if status, blob := doJSON(t, "POST", ts.URL+"/v1/solve", fmt.Sprintf(
+			`{"graph":"g","algo":"cbas","priority":%q,"request":{"k":3,"samples":64}}`, p)); status != http.StatusOK {
+			t.Fatalf("cbas %s solve: %d %s", p, status, blob)
+		}
+	}
+	_, metricsText := doJSON(t, "GET", ts.URL+"/metrics", "")
+	for _, lane := range []string{"interactive", "bulk"} {
+		series := fmt.Sprintf(`waso_executor_lane_jobs_total{lane=%q}`, lane)
+		if !laneCounterPositive(string(metricsText), series) {
+			t.Errorf("metrics: %s not positive after a %s-priority solve", series, lane)
+		}
+	}
+}
+
+// laneCounterPositive reports whether the named series renders with a
+// value > 0 in Prometheus text exposition.
+func laneCounterPositive(exposition, series string) bool {
+	for _, line := range strings.Split(exposition, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			return err == nil && v > 0
+		}
+	}
+	return false
+}

@@ -31,6 +31,16 @@
 //	          solve's tasks on a shared bounded Executor — one goroutine
 //	          pool for the whole process, drained fairly across
 //	          concurrent solves — instead of a private per-call pool.
+//	          The executor schedules two priority lanes (interactive,
+//	          bulk) by weighted round-robin and drops queued tasks whose
+//	          solve deadline already passed at dequeue.
+//	admit   — admission control beside metrics, below service: a small
+//	          controller deciding admit / degrade / shed per request from
+//	          executor backlog signals (queue depth, windowed queue-wait
+//	          p99 with hysteresis, a global in-flight cap, per-client
+//	          quotas, drain). It imports neither solver nor net/http —
+//	          the service feeds it signals and maps its decisions onto
+//	          transports.
 //	service — the serving layer: concurrency-safe in-memory graph store
 //	          (load/generate/evict) holding one solver.Prep, one
 //	          workspace pool and one region cache per graph, one
@@ -41,14 +51,19 @@
 //	          single solves). The service also owns the process
 //	          metrics.Registry: per-algo solve latency and quality
 //	          moments, executor backlog, cache/pool counters that stay
-//	          monotone across graph eviction.
+//	          monotone across graph eviction. Every Solve (interactive)
+//	          and SolveBatch (bulk) passes the admit.Controller first;
+//	          shed requests surface as *OverloadError, degraded ones run
+//	          with clamped budgets and Report.Degraded set.
 //	cmd     — the front ends over the same Request path: cmd/waso
 //	          (experiment harness and -batch item runner), cmd/wasod
 //	          (JSON HTTP server incl. POST /v1/solve/batch, GET /metrics
 //	          Prometheus exposition, structured access logs, opt-in
-//	          -pprof), and cmd/wasobench (large-graph scaling benchmarks
-//	          and the -throughput serving replay, whose rows carry
-//	          scraped metric deltas).
+//	          -pprof; overload maps to 429/503 with jittered Retry-After
+//	          and SIGTERM runs the drain sequence), and cmd/wasobench
+//	          (large-graph scaling benchmarks, the -throughput serving
+//	          replay whose rows carry scraped metric deltas, and the
+//	          -overload shed-don't-collapse gate against a live wasod).
 //	lint    — off to the side of the tower: internal/lint and its driver
 //	          cmd/wasolint machine-check the conventions the layers above
 //	          rely on (solver result-path determinism, the waso_ metric

@@ -177,6 +177,13 @@ type Report struct {
 	SamplesDrawn int64         `json:"samples_drawn"` // advisory: random samples attempted (0 for dgreedy)
 	Pruned       int64         `json:"pruned"`        // advisory: samples abandoned by the upper bound
 	Elapsed      time.Duration `json:"elapsed_ns"`    // wall-clock solve time
+
+	// Degraded marks an answer produced under overload with clamped
+	// sample/start budgets (the serving layer's degrade-before-shed mode):
+	// still a valid solution, but possibly worse than an unloaded solve of
+	// the same request would return. Solvers never set it — only the
+	// admission layer does — so library results always report false.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // ElapsedMillis returns the wall-clock solve time in milliseconds.

@@ -14,7 +14,8 @@ import (
 // MetricsHygiene enforces the metric-family contract from the
 // observability layer: every family registered on a metrics.Registry —
 // NewCounter, NewGauge, NewHistogram, NewMoments, GaugeFunc, CounterFunc,
-// RegisterHistogram — must name itself with a string literal prefixed
+// GaugeSeriesFunc, CounterSeriesFunc, RegisterHistogram — must name itself
+// with a string literal prefixed
 // "waso_", and every family it renders must already appear, with the same
 // type, in the checked-in catalogue cmd/wasod/testdata/metric_names.txt.
 //
@@ -44,8 +45,10 @@ const catalogueRel = "cmd/wasod/testdata/metric_names.txt"
 var registryMethods = map[string][]struct{ suffix, typ string }{
 	"NewCounter":        {{"", "counter"}},
 	"CounterFunc":       {{"", "counter"}},
+	"CounterSeriesFunc": {{"", "counter"}},
 	"NewGauge":          {{"", "gauge"}},
 	"GaugeFunc":         {{"", "gauge"}},
+	"GaugeSeriesFunc":   {{"", "gauge"}},
 	"NewHistogram":      {{"", "histogram"}},
 	"RegisterHistogram": {{"", "histogram"}},
 	"NewMoments": {

@@ -13,6 +13,10 @@ func register(r *metrics.Registry) {
 	r.NewCounter("waso_bogus_total", "uncatalogued")    // want `metric family "waso_bogus_total" is not in the catalogue`
 	r.NewGauge("waso_http_requests_total", "bad type")  // want `registered as a gauge but catalogued as a counter`
 	r.NewMoments("waso_solve_seconds", "bad expansion") // want `metric family "waso_solve_seconds_(count|mean|stddev|min|max)" is not in the catalogue`
+	r.GaugeSeriesFunc("waso_executor_lane_queue_depth", "catalogued series-func gauge",
+		func() []metrics.FuncSample { return nil }, "lane")
+	r.CounterSeriesFunc("waso_lane_bogus_total", "uncatalogued series-func", noSamples, "lane") // want `metric family "waso_lane_bogus_total" is not in the catalogue`
+	r.GaugeSeriesFunc("waso_shed_total", "bad series-func type", noSamples)                     // want `registered as a gauge but catalogued as a counter`
 	name := "waso_" + computedSuffix()
 	r.NewCounter(name, "not a literal") // want `must be a string literal`
 	//lint:allow metricshygiene(fixture: exercising the escape hatch)
@@ -20,5 +24,7 @@ func register(r *metrics.Registry) {
 }
 
 func computedSuffix() string { return "dynamic_total" }
+
+func noSamples() []metrics.FuncSample { return nil }
 
 var _ = register

@@ -120,6 +120,40 @@ func (r *Registry) CounterFunc(name, help string, fn func() float64) {
 	r.register(name, &funcCollector{name: name, help: help, typ: "counter", fn: fn})
 }
 
+// FuncSample is one rendered series from a series-func collector: the
+// label values (matching the registered label names, in order) and the
+// value read at scrape time.
+type FuncSample struct {
+	LabelValues []string
+	Value       float64
+}
+
+// GaugeSeriesFunc registers a labeled gauge family whose full series set is
+// read from fn at render time — the hook for values that live elsewhere and
+// are naturally per-key (per-lane queue depth, per-client quota usage). fn
+// must return one FuncSample per series, each with exactly len(labelNames)
+// label values; series order need not be stable, rendering sorts them.
+func (r *Registry) GaugeSeriesFunc(name, help string, fn func() []FuncSample, labelNames ...string) {
+	for _, l := range labelNames {
+		mustValidLabel(l)
+	}
+	r.register(name, &seriesFuncCollector{
+		name: name, help: help, typ: "gauge", labelNames: labelNames, fn: fn})
+}
+
+// CounterSeriesFunc registers a labeled counter family whose series are
+// read from fn at render time. Each series' value must be monotone
+// non-decreasing over the life of the process (Prometheus counter
+// semantics); series may appear as new keys arise but must not disappear
+// while the process lives.
+func (r *Registry) CounterSeriesFunc(name, help string, fn func() []FuncSample, labelNames ...string) {
+	for _, l := range labelNames {
+		mustValidLabel(l)
+	}
+	r.register(name, &seriesFuncCollector{
+		name: name, help: help, typ: "counter", labelNames: labelNames, fn: fn})
+}
+
 // RegisterHistogram registers an existing label-less Histogram instance —
 // the hook for components (like the solver executor) that own their
 // instrument but should still appear on /metrics.
@@ -360,6 +394,31 @@ func (c *funcCollector) collect() []familySnapshot {
 		name: c.name, help: c.help, typ: c.typ,
 		samples: []sample{{name: c.name, value: c.fn()}},
 	}}
+}
+
+// seriesFuncCollector renders a labeled family from a callback returning
+// the full series set at scrape time.
+type seriesFuncCollector struct {
+	name, help, typ string
+	labelNames      []string
+	fn              func() []FuncSample
+}
+
+func (c *seriesFuncCollector) collect() []familySnapshot {
+	fam := familySnapshot{name: c.name, help: c.help, typ: c.typ}
+	for _, s := range c.fn() {
+		if len(s.LabelValues) != len(c.labelNames) {
+			panic(fmt.Sprintf("metrics: %s series func wants %d label values, got %d",
+				c.name, len(c.labelNames), len(s.LabelValues)))
+		}
+		fam.samples = append(fam.samples, sample{
+			name:   c.name,
+			labels: renderLabels(c.labelNames, s.LabelValues),
+			value:  s.Value,
+		})
+	}
+	sort.Slice(fam.samples, func(a, b int) bool { return fam.samples[a].labels < fam.samples[b].labels })
+	return []familySnapshot{fam}
 }
 
 // histCollector renders one externally owned label-less histogram.

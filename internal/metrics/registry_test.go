@@ -154,3 +154,70 @@ func TestRegistryConcurrent(t *testing.T) {
 		t.Errorf(`c_total{w="a"} = %v, want 1000`, got)
 	}
 }
+
+// TestSeriesFunc: labeled func-backed families render one series per
+// returned FuncSample, sorted by label block, re-reading fn every scrape.
+func TestSeriesFunc(t *testing.T) {
+	r := NewRegistry()
+	depth := map[string]float64{"bulk": 7, "interactive": 2}
+	r.GaugeSeriesFunc("q_depth", "per-lane depth", func() []FuncSample {
+		return []FuncSample{
+			{LabelValues: []string{"bulk"}, Value: depth["bulk"]},
+			{LabelValues: []string{"interactive"}, Value: depth["interactive"]},
+		}
+	}, "lane")
+	r.CounterSeriesFunc("q_total", "per-lane total", func() []FuncSample {
+		return []FuncSample{{LabelValues: []string{"bulk"}, Value: 40}}
+	}, "lane")
+
+	snap := r.Snapshot()
+	for series, want := range map[string]float64{
+		`q_depth{lane="bulk"}`:        7,
+		`q_depth{lane="interactive"}`: 2,
+		`q_total{lane="bulk"}`:        40,
+	} {
+		if got := snap[series]; got != want {
+			t.Errorf("%s = %v, want %v", series, got, want)
+		}
+	}
+	depth["interactive"] = 9 // scrape-time read: next snapshot sees the change
+	if got := r.Snapshot()[`q_depth{lane="interactive"}`]; got != 9 {
+		t.Errorf("after update: %v, want 9", got)
+	}
+
+	var buf strings.Builder
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# TYPE q_depth gauge") || !strings.Contains(out, "# TYPE q_total counter") {
+		t.Errorf("exposition missing TYPE lines:\n%s", out)
+	}
+	bulkAt := strings.Index(out, `q_depth{lane="bulk"}`)
+	interAt := strings.Index(out, `q_depth{lane="interactive"}`)
+	if bulkAt < 0 || interAt < 0 || bulkAt > interAt {
+		t.Errorf("series not rendered in sorted label order:\n%s", out)
+	}
+
+	// Duplicate registration still panics through the series-func path.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate GaugeSeriesFunc registration did not panic")
+			}
+		}()
+		r.GaugeSeriesFunc("q_depth", "dup", func() []FuncSample { return nil }, "lane")
+	}()
+	// Label-arity mismatches from fn are programmer errors: panic at scrape.
+	r.GaugeSeriesFunc("q_bad", "bad arity", func() []FuncSample {
+		return []FuncSample{{LabelValues: []string{"a", "b"}, Value: 1}}
+	}, "lane")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("mismatched label arity did not panic at scrape")
+			}
+		}()
+		r.Snapshot()
+	}()
+}

@@ -1,0 +1,195 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"waso/internal/admit"
+	"waso/internal/core"
+	"waso/internal/metrics"
+	"waso/internal/solver"
+)
+
+// Admission control: every Solve and SolveBatch passes through the
+// service's admit.Controller before touching the executor. Solve is
+// interactive-priority, SolveBatch is bulk (its items inherit the bulk
+// executor lane), and the controller sheds or degrades against the
+// executor's own backlog signals. The controller always exists — a zero
+// admit.Config admits everything — so the waso_admission_* families are
+// always registered and transports can rely on OverloadError semantics
+// regardless of configuration.
+
+// clientCtxKey carries the caller identity used for per-client quotas.
+type clientCtxKey struct{}
+
+// WithClient returns a context carrying the caller's identity (X-Client-ID
+// header or remote address, chosen by the transport) for per-client
+// admission quotas. Contexts without an identity share one anonymous
+// bucket.
+func WithClient(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, clientCtxKey{}, id)
+}
+
+// clientFor returns the context's client identity, or "".
+func clientFor(ctx context.Context) string {
+	if id, ok := ctx.Value(clientCtxKey{}).(string); ok {
+		return id
+	}
+	return ""
+}
+
+// bulkCtxKey marks a context bulk-priority.
+type bulkCtxKey struct{}
+
+// WithBulkPriority marks solves dispatched on ctx as bulk-priority work:
+// they pass admission in the bulk class (lower queue cap, shed first under
+// latency pressure) and their tasks ride the executor's bulk lane behind
+// interactive solves. Transports set it for requests self-declared
+// non-latency-sensitive ("priority":"bulk"); SolveBatch is always bulk
+// regardless of this mark.
+func WithBulkPriority(ctx context.Context) context.Context {
+	return context.WithValue(ctx, bulkCtxKey{}, true)
+}
+
+// bulkFor reports whether ctx carries the bulk-priority mark.
+func bulkFor(ctx context.Context) bool {
+	b, _ := ctx.Value(bulkCtxKey{}).(bool)
+	return b
+}
+
+// OverloadError reports a request shed by admission control. Transports
+// map it to 429 (or 503 for ReasonDrain) and surface RetryAfter as a
+// jittered Retry-After hint.
+type OverloadError struct {
+	// Reason is the admit.Reason* value that shed the request.
+	Reason string
+	// RetryAfter is the controller's un-jittered backoff hint.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("service: overloaded (%s), retry in ~%s", e.Reason, e.RetryAfter)
+}
+
+// admitSolve runs one admission decision. On admission it returns the
+// decision (Degraded and the clamp budgets, for clampRequest) and the
+// quota release; a shed request comes back as *OverloadError.
+func (s *Service) admitSolve(ctx context.Context, bulk bool) (admit.Decision, func(), error) {
+	d, release := s.adm.Admit(clientFor(ctx), bulk)
+	if !d.Admit {
+		return d, nil, &OverloadError{Reason: d.Reason, RetryAfter: d.RetryAfter}
+	}
+	return d, release, nil
+}
+
+// clampRequest applies a degraded decision's budget limits to one request.
+// Requests already inside the clamp keep their own values; non-degraded
+// decisions change nothing.
+func clampRequest(req core.Request, d admit.Decision) core.Request {
+	if !d.Degraded {
+		return req
+	}
+	if d.SamplesLimit > 0 && req.Samples > d.SamplesLimit {
+		req.Samples = d.SamplesLimit
+	}
+	if d.StartsLimit > 0 && req.Starts > d.StartsLimit {
+		req.Starts = d.StartsLimit
+	}
+	return req
+}
+
+// StartDrain flips the service into drain mode: every subsequent Solve and
+// SolveBatch is shed with admit.ReasonDrain while in-flight work runs to
+// completion. Transports call it on SIGTERM, then wait for in-flight
+// requests before Close. Idempotent.
+func (s *Service) StartDrain() { s.adm.StartDrain() }
+
+// Draining reports whether StartDrain has been called — the readiness
+// signal /healthz flips on.
+func (s *Service) Draining() bool { return s.adm.Draining() }
+
+// Admission returns the controller's current snapshot (tests, health).
+func (s *Service) Admission() admit.Stats { return s.adm.Snapshot() }
+
+// registerAdmissionMetrics builds the overload-layer families: per-lane
+// executor telemetry and the admission controller's decisions and state.
+// Called once from registerMetrics.
+func (s *Service) registerAdmissionMetrics() {
+	reg := s.reg
+
+	laneSeries := func(value func(solver.LaneStats) float64) func() []metrics.FuncSample {
+		return func() []metrics.FuncSample {
+			st := s.exec.Stats()
+			out := make([]metrics.FuncSample, 0, int(solver.NumLanes))
+			for l := solver.Lane(0); l < solver.NumLanes; l++ {
+				out = append(out, metrics.FuncSample{
+					LabelValues: []string{l.String()},
+					Value:       value(st.Lanes[l]),
+				})
+			}
+			return out
+		}
+	}
+	reg.GaugeSeriesFunc("waso_executor_lane_queue_depth",
+		"Tasks accepted but not yet running, per executor lane.",
+		laneSeries(func(ls solver.LaneStats) float64 { return float64(ls.TasksQueued) }), "lane")
+	reg.GaugeSeriesFunc("waso_executor_lane_tasks_inflight",
+		"Tasks executing right now, per executor lane.",
+		laneSeries(func(ls solver.LaneStats) float64 { return float64(ls.TasksInFlight) }), "lane")
+	reg.CounterSeriesFunc("waso_executor_lane_jobs_total",
+		"Solve jobs accepted by the shared executor, per lane.",
+		laneSeries(func(ls solver.LaneStats) float64 { return float64(ls.Jobs) }), "lane")
+	reg.CounterSeriesFunc("waso_executor_lane_tasks_total",
+		"Sample-chunk tasks accepted by the shared executor, per lane.",
+		laneSeries(func(ls solver.LaneStats) float64 { return float64(ls.Tasks) }), "lane")
+	reg.CounterFunc("waso_executor_tasks_expired_total",
+		"Tasks dropped at dequeue because their solve's deadline had already passed.",
+		func() float64 { return float64(s.exec.Stats().TasksExpired) })
+
+	reg.CounterSeriesFunc("waso_admission_decisions_total",
+		"Admission outcomes: accepted, degraded, or shed_<reason>.",
+		func() []metrics.FuncSample {
+			st := s.adm.Snapshot()
+			return []metrics.FuncSample{
+				{LabelValues: []string{"accepted"}, Value: float64(st.Accepted)},
+				{LabelValues: []string{"degraded"}, Value: float64(st.Degraded)},
+				{LabelValues: []string{"shed_" + admit.ReasonQueue}, Value: float64(st.Shed[admit.ReasonQueue])},
+				{LabelValues: []string{"shed_" + admit.ReasonLatency}, Value: float64(st.Shed[admit.ReasonLatency])},
+				{LabelValues: []string{"shed_" + admit.ReasonInflight}, Value: float64(st.Shed[admit.ReasonInflight])},
+				{LabelValues: []string{"shed_" + admit.ReasonQuota}, Value: float64(st.Shed[admit.ReasonQuota])},
+				{LabelValues: []string{"shed_" + admit.ReasonDrain}, Value: float64(st.Shed[admit.ReasonDrain])},
+			}
+		}, "decision")
+	reg.CounterFunc("waso_shed_total",
+		"Requests rejected by admission control, all reasons.",
+		func() float64 { return float64(s.adm.Snapshot().ShedTotal) })
+	reg.CounterFunc("waso_admission_degraded_total",
+		"Solves admitted with clamped budgets (degrade-before-shed).",
+		func() float64 { return float64(s.adm.Snapshot().Degraded) })
+	reg.GaugeFunc("waso_admission_shedding",
+		"1 while latency-based shedding is latched, else 0.",
+		func() float64 {
+			if s.adm.Snapshot().Shedding {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("waso_admission_p99_seconds",
+		"Last windowed executor queue-wait p99 the admission controller observed.",
+		func() float64 { return s.adm.Snapshot().P99.Seconds() })
+	reg.GaugeFunc("waso_admission_clients_active",
+		"Clients with at least one admitted solve in flight.",
+		func() float64 { return float64(s.adm.Snapshot().Clients) })
+	reg.GaugeFunc("waso_admission_inflight",
+		"Admitted solves currently in flight (admission slots not yet released).",
+		func() float64 { return float64(s.adm.Snapshot().Inflight) })
+	reg.GaugeFunc("waso_draining",
+		"1 once drain has begun (server stops accepting work), else 0.",
+		func() float64 {
+			if s.adm.Draining() {
+				return 1
+			}
+			return 0
+		})
+}

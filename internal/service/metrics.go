@@ -148,6 +148,8 @@ func (s *Service) registerMetrics() {
 	reg.CounterFunc("waso_workspace_pool_allocs_total",
 		"Workspaces freshly allocated (pool misses).",
 		func() float64 { return float64(s.cacheTotalsNow().poolAllocs) })
+
+	s.registerAdmissionMetrics()
 }
 
 // Metrics returns the service's registry — the single source /metrics and
@@ -171,12 +173,14 @@ func errKind(err error) string {
 }
 
 // Health is the wire-ready liveness summary: resident graphs, the shared
-// executor's instantaneous backlog (the admission-control signal), and
-// process uptime.
+// executor's instantaneous backlog (the admission-control signal), process
+// uptime, and the drain flag transports use as the readiness signal (a
+// draining server is alive but should be rotated out of load balancing).
 type Health struct {
 	Graphs        int     `json:"graphs"`
 	ExecutorQueue int     `json:"executor_queue"`
 	UptimeS       float64 `json:"uptime_s"`
+	Draining      bool    `json:"draining,omitempty"`
 }
 
 // Health returns the current liveness summary.
@@ -188,5 +192,6 @@ func (s *Service) Health() Health {
 		Graphs:        graphs,
 		ExecutorQueue: s.exec.Stats().TasksQueued,
 		UptimeS:       time.Since(s.start).Seconds(),
+		Draining:      s.adm.Draining(),
 	}
 }

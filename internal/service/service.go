@@ -29,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"waso/internal/admit"
 	"waso/internal/core"
 	"waso/internal/gen"
 	"waso/internal/graph"
@@ -68,6 +69,10 @@ type Config struct {
 	// disables region caching (solves still extract regions per call when
 	// the request's region mode asks for them).
 	MaxRegions int
+	// Admit configures overload admission control (queue caps, latency
+	// shedding, per-client quotas, degrade-before-shed). The zero value
+	// admits everything; see admit.Config.
+	Admit admit.Config
 }
 
 // GraphInfo is the wire-ready description of one resident graph.
@@ -105,6 +110,11 @@ type Service struct {
 	// goroutines stay bounded no matter how many requests are in flight.
 	exec *solver.Executor
 
+	// adm is the admission controller guarding exec: it sheds or degrades
+	// requests against the executor's backlog and latency signals before
+	// they are scheduled. Always non-nil (zero config admits everything).
+	adm *admit.Controller
+
 	// reg and met are the process metrics registry and the per-solve
 	// instruments; see metrics.go for the catalogue and the neutrality
 	// contract (instruments observe outcomes, never influence them).
@@ -125,6 +135,16 @@ func New(cfg Config) *Service {
 		reg:    metrics.NewRegistry(),
 		graphs: make(map[string]*entry),
 	}
+	// The controller reads the executor's own telemetry: task backlog
+	// (total and the bulk lane's share) and the queue-wait histogram whose
+	// windowed p99 drives latency shedding.
+	s.adm = admit.New(cfg.Admit, admit.Signals{
+		QueueDepth: func() (int, int) {
+			st := s.exec.Stats()
+			return st.TasksQueued, st.Lanes[solver.LaneBulk].TasksQueued
+		},
+		QueueWait: s.exec.QueueWait().Snapshot,
+	})
 	s.registerMetrics()
 	return s
 }
@@ -388,14 +408,37 @@ func (s *Service) solveEntry(ctx context.Context, e *entry, algo string, req cor
 // the configured default timeout when ctx carries no deadline.
 // Cancellation and deadline errors pass through as ctx.Err() values
 // (context.Canceled, context.DeadlineExceeded).
+//
+// Solve is interactive-priority by default: it passes admission control as
+// interactive work and its tasks drain ahead of bulk (batch) backlog on
+// the executor. A context marked WithBulkPriority runs in the bulk class
+// instead. Under overload Solve returns *OverloadError, or — in
+// degrade-before-shed mode — runs with clamped budgets and marks the
+// Report Degraded. Admission never alters non-degraded answers: an
+// admitted full-budget solve is bit-identical to one with admission off.
 func (s *Service) Solve(ctx context.Context, graphID, algo string, req core.Request) (core.Report, error) {
 	e, err := s.entryFor(graphID)
 	if err != nil {
 		return core.Report{}, err
 	}
+	bulk := bulkFor(ctx)
+	d, release, err := s.admitSolve(ctx, bulk)
+	if err != nil {
+		return core.Report{}, err
+	}
+	defer release()
 	ctx, cancel := s.withDeadline(ctx)
 	defer cancel()
-	return s.solveEntry(s.withShared(ctx, e), e, algo, req)
+	lane := solver.LaneInteractive
+	if bulk {
+		lane = solver.LaneBulk
+	}
+	ctx = solver.WithLane(ctx, lane)
+	rep, err := s.solveEntry(s.withShared(ctx, e), e, algo, clampRequest(req, d))
+	if err == nil && d.Degraded {
+		rep.Degraded = true
+	}
+	return rep, err
 }
 
 // batchCoordinators bounds the goroutines that dispatch batch items. Each
@@ -426,6 +469,13 @@ func (s *Service) batchCoordinators(items int) int {
 // Results are positional: out[i] answers items[i], and each Report.Best is
 // bit-identical to a sequential Service.Solve of the same item — the
 // executor and batch scheduling never affect answers.
+//
+// A batch is one bulk-priority admission unit: the whole call passes
+// admission control once (holding one quota slot for its duration), and
+// every item's tasks ride the executor's bulk lane, draining behind
+// interactive solves under weighted round-robin. Under overload the call
+// returns *OverloadError; in degrade mode every item runs with clamped
+// budgets and its Report is marked Degraded.
 func (s *Service) SolveBatch(ctx context.Context, graphID string, items []core.BatchItem) ([]core.BatchReport, error) {
 	if len(items) == 0 {
 		return nil, fmt.Errorf("%w: empty batch", ErrInvalid)
@@ -434,9 +484,14 @@ func (s *Service) SolveBatch(ctx context.Context, graphID string, items []core.B
 	if err != nil {
 		return nil, err
 	}
+	d, release, err := s.admitSolve(ctx, true)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	ctx, cancel := s.withDeadline(ctx)
 	defer cancel()
-	ctx = s.withShared(ctx, e)
+	ctx = solver.WithLane(s.withShared(ctx, e), solver.LaneBulk)
 
 	out := make([]core.BatchReport, len(items))
 	idxCh := make(chan int)
@@ -447,11 +502,25 @@ func (s *Service) SolveBatch(ctx context.Context, graphID string, items []core.B
 			defer wg.Done()
 			for i := range idxCh {
 				br := core.BatchReport{Algo: items[i].Algo}
-				rep, err := s.solveEntry(ctx, e, items[i].Algo, items[i].Request)
+				// A whole-batch deadline that fires mid-batch must surface
+				// uniformly: items not yet dispatched report the same
+				// ctx error a running item does, instead of racing each
+				// solver's own ctx checks (a fast solver with an expired
+				// ctx could still answer, leaving a mixed envelope).
+				if err := ctx.Err(); err != nil {
+					br.Err = err
+					br.Error = err.Error()
+					out[i] = br
+					continue
+				}
+				rep, err := s.solveEntry(ctx, e, items[i].Algo, clampRequest(items[i].Request, d))
 				if err != nil {
 					br.Err = err
 					br.Error = err.Error()
 				} else {
+					if d.Degraded {
+						rep.Degraded = true
+					}
 					br.Report = &rep
 				}
 				out[i] = br

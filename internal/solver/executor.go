@@ -9,6 +9,57 @@ import (
 	"waso/internal/metrics"
 )
 
+// Lane is the scheduling priority class of one solve on the shared
+// Executor. Interactive solves (single /v1/solve requests, a human waiting
+// on the answer) drain ahead of bulk work (batch items, replays, offline
+// sweeps) under weighted round-robin, so a saturated bulk backlog can slow
+// interactive solves but never starve them — and vice versa: bulk always
+// keeps a guaranteed share, so a flood of interactive traffic cannot
+// silently stall a batch forever either.
+//
+// Lanes are scheduling only. Like Workers, they never affect Report.Best.
+type Lane int
+
+const (
+	// LaneInteractive is the default lane: latency-sensitive solves.
+	LaneInteractive Lane = iota
+	// LaneBulk is the throughput lane: batch items and offline work.
+	LaneBulk
+	// NumLanes bounds the lane enum (array sizing).
+	NumLanes
+)
+
+// String returns the metric-label rendering of the lane.
+func (l Lane) String() string {
+	if l == LaneBulk {
+		return "bulk"
+	}
+	return "interactive"
+}
+
+// interactiveBurst is the weighted-round-robin ratio: when both lanes have
+// runnable tasks, interactive gets this many picks for every bulk pick.
+// When either lane is idle the other takes every slot (work-conserving).
+const interactiveBurst = 4
+
+// laneCtxKey carries a Lane through a context.
+type laneCtxKey struct{}
+
+// WithLane returns a context carrying the scheduling lane for solves
+// dispatched on it. The service layer tags Solve contexts interactive and
+// SolveBatch contexts bulk; a context without a lane is interactive.
+func WithLane(ctx context.Context, l Lane) context.Context {
+	return context.WithValue(ctx, laneCtxKey{}, l)
+}
+
+// LaneFor returns the context's lane, defaulting to LaneInteractive.
+func LaneFor(ctx context.Context) Lane {
+	if l, ok := ctx.Value(laneCtxKey{}).(Lane); ok && l >= 0 && l < NumLanes {
+		return l
+	}
+	return LaneInteractive
+}
+
 // Executor is a process-wide, bounded solve scheduler: one goroutine pool —
 // sized to GOMAXPROCS by default — that every Solve whose context carries it
 // (WithExecutor) draws workers from, instead of spawning a private pool per
@@ -16,13 +67,22 @@ import (
 // goroutines and oversubscribe the CPU N-fold; through a shared Executor the
 // total stays at the pool size no matter how many solves are in flight.
 //
-// Scheduling is fair: each solve submits its (start, sample-chunk) task
-// queue as one job, and idle workers drain the active jobs round-robin, one
-// task at a time, so a burst of small (k, budget) queries keeps making
-// progress beside a long-running solve instead of queueing behind it. A
-// job's parallelism is additionally capped at the solve's own clamped
-// Workers value, so Request.Workers keeps its meaning (an upper bound on one
-// solve's parallelism) on the shared pool.
+// Scheduling is fair within a lane and weighted across lanes: each solve
+// submits its (start, sample-chunk) task queue as one job on its lane, idle
+// workers drain the active jobs of a lane round-robin one task at a time,
+// and the interactive lane gets interactiveBurst picks for every bulk pick
+// when both lanes are backlogged — so a burst of small interactive queries
+// keeps making progress beside a saturated batch backlog, and bulk work
+// retains a guaranteed share under interactive floods. A job's parallelism
+// is additionally capped at the solve's own clamped Workers value, so
+// Request.Workers keeps its meaning (an upper bound on one solve's
+// parallelism) on the shared pool.
+//
+// Jobs carry their solve's deadline: a job whose deadline has already
+// passed when a worker would dequeue its next task is dropped — its
+// remaining tasks are counted (per-lane TasksExpired), never executed — so
+// a queue full of work whose clients have already given up melts away in
+// O(queue) bookkeeping instead of being solved for nobody.
 //
 // Cancellation is per solve: tasks of a cancelled job observe their own
 // context and complete as no-ops, so one client disconnecting never stalls
@@ -30,27 +90,26 @@ import (
 // changes which goroutine runs a task and when, and Report.Best is
 // schedule-independent by construction (see the package comment).
 //
-// The zero Executor is not usable; construct with NewExecutor. Close drains
-// queued work and stops the workers; a closed Executor makes Solve fall back
-// to its private per-call pool, so library callers can shut one down without
-// tearing down solving.
+// The zero Executor is not usable; construct with NewExecutor. Close is
+// idempotent and safe to race with in-flight run submissions: it drains
+// queued work and stops the workers, and a closed Executor makes Solve fall
+// back to its private per-call pool, so library callers can shut one down
+// without tearing down solving.
 type Executor struct {
 	workers int
 
 	mu     sync.Mutex
 	cond   *sync.Cond
-	jobs   []*execJob // active jobs, drained round-robin
-	cursor int        // next round-robin pick position
+	jobs   [NumLanes][]*execJob // active jobs per lane, drained round-robin
+	cursor [NumLanes]int        // next round-robin pick position per lane
+	credit int                  // interactive picks left before a backlogged bulk lane gets one
 	closed bool
 	wg     sync.WaitGroup
 
 	// Telemetry, guarded by mu and read as one consistent snapshot by
-	// Stats. queued/inFlight are maintained incrementally by submit, pick
-	// and finish so a Stats call is O(1) regardless of active jobs.
-	jobsTotal  uint64
-	tasksTotal uint64
-	queued     int // tasks accepted but not yet handed to a worker
-	inFlight   int // tasks currently executing
+	// Stats. queued/inFlight are maintained incrementally by submit, pick,
+	// finish and expiry so a Stats call is O(1) regardless of active jobs.
+	lanes [NumLanes]laneCounters
 
 	// queueWait records, per job, how long a solve waited between
 	// submission and its first task starting — the backlog signal
@@ -59,17 +118,29 @@ type Executor struct {
 	queueWait *metrics.Histogram
 }
 
+// laneCounters is the per-lane slice of the executor telemetry.
+type laneCounters struct {
+	jobsTotal    uint64
+	tasksTotal   uint64
+	tasksExpired uint64 // tasks dropped at dequeue because their job's deadline had passed
+	queued       int    // tasks accepted but not yet handed to a worker
+	inFlight     int    // tasks currently executing
+}
+
 // execJob is one solve's task queue as the executor sees it: n indexed
 // tasks handed out in order, at most maxParallel running at once. The
 // solve's context lives in the task fn's closure (the drain contract), so
-// the job itself holds no reference to it.
+// the job itself holds no reference to it — only its lane and deadline.
 type execJob struct {
 	fn          func(idx int)
+	lane        Lane
 	n           int
 	next        int // next task index to hand out
 	running     int // tasks currently executing
 	maxParallel int
 	done        chan struct{}
+	deadline    time.Time // zero = none; checked at dequeue, not submit
+	expired     int       // tasks dropped because the deadline passed
 	submitted   time.Time // when run enqueued the job (queue-wait telemetry)
 	started     bool      // first task handed out (queue wait recorded once)
 }
@@ -92,125 +163,219 @@ func NewExecutor(workers int) *Executor {
 // Workers returns the size of the shared pool.
 func (e *Executor) Workers() int { return e.workers }
 
-// ExecutorStats is one consistent snapshot of executor telemetry: the
-// accepted totals plus the instantaneous backlog. TasksQueued is the
-// admission-control signal — tasks accepted but not yet running — and
-// TasksInFlight how many workers are busy right now.
-type ExecutorStats struct {
-	Workers       int    // size of the shared pool
-	Jobs          uint64 // solves accepted since start
-	Tasks         uint64 // (start, sample-chunk) tasks accepted since start
+// LaneStats is one lane's slice of the executor snapshot.
+type LaneStats struct {
+	Jobs          uint64 // solves accepted on this lane since start
+	Tasks         uint64 // tasks accepted on this lane since start
+	TasksExpired  uint64 // tasks dropped at dequeue (job deadline already passed)
 	JobsActive    int    // solves with unfinished tasks
 	TasksQueued   int    // tasks waiting for a worker
 	TasksInFlight int    // tasks executing right now
+}
+
+// ExecutorStats is one consistent snapshot of executor telemetry: the
+// accepted totals plus the instantaneous backlog, whole-pool and per lane.
+// TasksQueued is the admission-control signal — tasks accepted but not yet
+// running — and TasksInFlight how many workers are busy right now.
+type ExecutorStats struct {
+	Workers       int    // size of the shared pool
+	Jobs          uint64 // solves accepted since start (all lanes)
+	Tasks         uint64 // (start, sample-chunk) tasks accepted since start
+	TasksExpired  uint64 // tasks dropped at dequeue because their deadline had passed
+	JobsActive    int    // solves with unfinished tasks
+	TasksQueued   int    // tasks waiting for a worker
+	TasksInFlight int    // tasks executing right now
+
+	Lanes [NumLanes]LaneStats // per-lane breakdown; index with Lane values
 }
 
 // Stats returns one consistent snapshot of the executor's counters and
 // backlog, taken under the scheduler lock — every field describes the same
 // instant, unlike reading independent atomics, which could observe a task
 // as both queued and in flight. Serving telemetry, the /metrics executor
-// family, and the hook tests use to assert a solve actually ran on the
-// shared pool.
+// family, the admission controller and the hook tests use it.
 func (e *Executor) Stats() ExecutorStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return ExecutorStats{
-		Workers:       e.workers,
-		Jobs:          e.jobsTotal,
-		Tasks:         e.tasksTotal,
-		JobsActive:    len(e.jobs),
-		TasksQueued:   e.queued,
-		TasksInFlight: e.inFlight,
+	st := ExecutorStats{Workers: e.workers}
+	for l := Lane(0); l < NumLanes; l++ {
+		c := e.lanes[l]
+		ls := LaneStats{
+			Jobs:          c.jobsTotal,
+			Tasks:         c.tasksTotal,
+			TasksExpired:  c.tasksExpired,
+			JobsActive:    len(e.jobs[l]),
+			TasksQueued:   c.queued,
+			TasksInFlight: c.inFlight,
+		}
+		st.Lanes[l] = ls
+		st.Jobs += ls.Jobs
+		st.Tasks += ls.Tasks
+		st.TasksExpired += ls.TasksExpired
+		st.JobsActive += ls.JobsActive
+		st.TasksQueued += ls.TasksQueued
+		st.TasksInFlight += ls.TasksInFlight
 	}
+	return st
 }
 
 // QueueWait returns the executor's per-job queue-wait histogram (seconds
 // between a solve's submission and its first task starting). The serving
 // layer registers it on /metrics; Snapshot().Percentile gives the p99 an
-// admission controller would gate on.
+// admission controller gates on.
 func (e *Executor) QueueWait() *metrics.Histogram { return e.queueWait }
 
-// Close drains all queued jobs and stops the workers. Safe to call twice.
-// run calls racing or following Close return false and the solve falls back
-// to its private pool.
+// Close drains all queued jobs and stops the workers. Idempotent and safe
+// to call concurrently, including racing run submissions: a run that wins
+// the race is drained before the workers exit; one that loses returns
+// false and the solve falls back to its private pool.
 func (e *Executor) Close() {
 	e.mu.Lock()
-	e.closed = true
-	e.cond.Broadcast()
+	if !e.closed {
+		e.closed = true
+		e.cond.Broadcast()
+	}
 	e.mu.Unlock()
 	e.wg.Wait()
 }
 
 // run executes n indexed tasks on the shared pool, at most maxParallel at a
-// time, and returns once every task has completed. fn must observe its
-// solve's context itself (tasks of a cancelled solve are still invoked, as
-// fast no-ops) — exactly the drain contract of the private worker pool it
-// replaces. The false return means the executor is closed and ran nothing.
-func (e *Executor) run(maxParallel, n int, fn func(idx int)) bool {
+// time, and returns once every task has completed or been dropped. fn must
+// observe its solve's context itself (tasks of a cancelled solve are still
+// invoked, as fast no-ops) — exactly the drain contract of the private
+// worker pool it replaces. deadline (zero = none) lets the scheduler drop
+// the job's remaining tasks at dequeue once the solve's budget is already
+// exhausted. ok=false means the executor is closed and ran nothing;
+// expired=true means at least one task was dropped for its deadline.
+func (e *Executor) run(lane Lane, deadline time.Time, maxParallel, n int, fn func(idx int)) (ok, expired bool) {
 	if n == 0 {
-		return true
+		return true, false
 	}
 	if maxParallel < 1 {
 		maxParallel = 1
 	}
+	if lane < 0 || lane >= NumLanes {
+		lane = LaneBulk
+	}
 	//lint:allow determinism(queue-wait telemetry timestamp; never reaches task scheduling or results)
-	j := &execJob{fn: fn, n: n, maxParallel: maxParallel, done: make(chan struct{}), submitted: time.Now()}
+	submitted := time.Now()
+	j := &execJob{fn: fn, lane: lane, n: n, maxParallel: maxParallel,
+		done: make(chan struct{}), deadline: deadline, submitted: submitted}
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
-		return false
+		return false, false
 	}
-	e.jobs = append(e.jobs, j)
-	e.jobsTotal++
-	e.tasksTotal += uint64(n)
-	e.queued += n
+	e.jobs[lane] = append(e.jobs[lane], j)
+	e.lanes[lane].jobsTotal++
+	e.lanes[lane].tasksTotal += uint64(n)
+	e.lanes[lane].queued += n
 	e.cond.Broadcast()
 	e.mu.Unlock()
 	<-j.done
-	return true
+	// done is closed under e.mu after the final mutation of j, so this read
+	// is ordered after every scheduler write to the job.
+	return true, j.expired > 0
 }
 
-// pickLocked hands out the next task round-robin across active jobs,
-// honouring each job's parallelism cap. Callers hold e.mu.
-func (e *Executor) pickLocked() (*execJob, int) {
-	for i := 0; i < len(e.jobs); i++ {
-		at := (e.cursor + i) % len(e.jobs)
-		j := e.jobs[at]
-		if j.next < j.n && j.running < j.maxParallel {
-			idx := j.next
-			j.next++
-			j.running++
-			e.queued--
-			e.inFlight++
-			if !j.started {
-				j.started = true
-				e.queueWait.Observe(time.Since(j.submitted).Seconds())
+// runnableLocked returns the next runnable job of the lane in round-robin
+// order, dropping deadline-expired jobs it scans past. now is the dequeue
+// timestamp (shared across lanes within one pick). Callers hold e.mu.
+func (e *Executor) runnableLocked(lane Lane, now time.Time) *execJob {
+	for i := 0; i < len(e.jobs[lane]); i++ {
+		at := (e.cursor[lane] + i) % len(e.jobs[lane])
+		j := e.jobs[lane][at]
+		if j.next < j.n && !j.deadline.IsZero() && now.After(j.deadline) {
+			// The solve's budget is already exhausted: drop the remaining
+			// tasks (counted, not solved). Tasks already running finish
+			// normally and retire the job through finishLocked.
+			dropped := j.n - j.next
+			j.expired += dropped
+			j.next = j.n
+			e.lanes[lane].queued -= dropped
+			e.lanes[lane].tasksExpired += uint64(dropped)
+			if j.running == 0 {
+				e.retireLocked(j)
+				i-- // the slice shrank; rescan this position
+				if len(e.jobs[lane]) == 0 {
+					return nil
+				}
+				continue
 			}
-			e.cursor = (at + 1) % len(e.jobs)
-			return j, idx
+		}
+		if j.next < j.n && j.running < j.maxParallel {
+			e.cursor[lane] = at // takeLocked advances past this job
+			return j
 		}
 	}
+	return nil
+}
+
+// takeLocked hands out the chosen job's next task. Callers hold e.mu and
+// must have obtained j from runnableLocked (which parked the lane cursor on
+// it).
+func (e *Executor) takeLocked(j *execJob) int {
+	idx := j.next
+	j.next++
+	j.running++
+	e.lanes[j.lane].queued--
+	e.lanes[j.lane].inFlight++
+	if !j.started {
+		j.started = true
+		//lint:allow determinism(queue-wait telemetry timestamp; never reaches task scheduling or results)
+		e.queueWait.Observe(time.Since(j.submitted).Seconds())
+	}
+	e.cursor[j.lane] = (e.cursor[j.lane] + 1) % len(e.jobs[j.lane])
+	return idx
+}
+
+// pickLocked chooses the next task under weighted round-robin across
+// lanes: when both lanes have runnable work, interactive gets
+// interactiveBurst picks per bulk pick; an idle lane cedes every slot to
+// the other. Callers hold e.mu.
+func (e *Executor) pickLocked() (*execJob, int) {
+	//lint:allow determinism(dequeue timestamp for deadline-expiry drops; scheduling only, results are schedule-independent)
+	now := time.Now()
+	ij := e.runnableLocked(LaneInteractive, now)
+	bj := e.runnableLocked(LaneBulk, now)
+	switch {
+	case ij != nil && (bj == nil || e.credit > 0):
+		if bj != nil {
+			e.credit--
+		}
+		return ij, e.takeLocked(ij)
+	case bj != nil:
+		e.credit = interactiveBurst
+		return bj, e.takeLocked(bj)
+	}
 	return nil, 0
+}
+
+// retireLocked removes a finished (or fully dropped) job from its lane and
+// wakes its submitter. Callers hold e.mu.
+func (e *Executor) retireLocked(j *execJob) {
+	lane := j.lane
+	for at, other := range e.jobs[lane] {
+		if other == j {
+			e.jobs[lane] = append(e.jobs[lane][:at], e.jobs[lane][at+1:]...)
+			if len(e.jobs[lane]) > 0 {
+				e.cursor[lane] %= len(e.jobs[lane])
+			} else {
+				e.cursor[lane] = 0
+			}
+			break
+		}
+	}
+	close(j.done)
 }
 
 // finishLocked records one completed task and retires the job when its last
 // task is done. Callers hold e.mu.
 func (e *Executor) finishLocked(j *execJob) {
 	j.running--
-	e.inFlight--
+	e.lanes[j.lane].inFlight--
 	if j.next >= j.n && j.running == 0 {
-		for at, other := range e.jobs {
-			if other == j {
-				e.jobs = append(e.jobs[:at], e.jobs[at+1:]...)
-				if len(e.jobs) > 0 {
-					e.cursor %= len(e.jobs)
-				} else {
-					e.cursor = 0
-				}
-				break
-			}
-		}
-		close(j.done)
+		e.retireLocked(j)
 		return
 	}
 	if j.next < j.n {

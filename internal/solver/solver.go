@@ -575,7 +575,9 @@ func multiStart(ctx context.Context, name string, g *graph.Graph, req core.Reque
 			free = append(free, ws)
 			freeMu.Unlock()
 		}
-		ranShared = ex.run(workers, len(tasks), func(idx int) {
+		deadline, _ := ctx.Deadline()
+		var expired bool
+		ranShared, expired = ex.run(LaneFor(ctx), deadline, workers, len(tasks), func(idx int) {
 			if ctx.Err() != nil {
 				return // cancelled solve: drain remaining tasks as no-ops
 			}
@@ -583,6 +585,12 @@ func multiStart(ctx context.Context, name string, g *graph.Graph, req core.Reque
 			execTask(ws, idx)
 			release(ws)
 		})
+		if expired && ctx.Err() == nil {
+			// The executor dropped tasks because the deadline passed at
+			// dequeue; the context's own timer may not have fired yet, so
+			// report the timeout deterministically rather than racing it.
+			return core.Report{}, context.DeadlineExceeded
+		}
 	}
 	if !ranShared {
 		idxCh := make(chan int)
