@@ -123,6 +123,13 @@ func run(args []string, out io.Writer) error {
 		requests   = fs.Int("requests", 256, "throughput mode: total solve requests per configuration")
 		execModes  = fs.String("execmodes", "shared,private", "throughput mode: scheduler modes to sweep (shared = one bounded executor, private = per-request pools)")
 
+		mutate       = fs.Bool("mutate", false, "mutation-replay mode: apply random mutation batches through an in-process service while clients solve, and report mutation + solve latency")
+		mutations    = fs.Int("mutations", 128, "mutate mode: total mutation batches to apply")
+		batchOps     = fs.Int("batch-ops", 4, "mutate mode: mutation ops per batch")
+		solveClients = fs.Int("solve-clients", 2, "mutate mode: concurrent solve clients running during the replay (0 = mutations only)")
+		dataDir      = fs.String("data-dir", "", `mutate mode: durable store directory ("temp" = a throwaway temp dir; empty = memory-only)`)
+		fsyncPolicy  = fs.String("fsync", "always", `mutate mode: WAL durability policy when -data-dir is set ("always", "off", or a group-commit interval like "100ms")`)
+
 		overload    = fs.Bool("overload", false, "overload-smoke mode: drive a live wasod (-url) through calibrate/overdrive/cooldown phases and assert shed-don't-collapse")
 		urlFlag     = fs.String("url", "", "overload mode: base URL of the running wasod server")
 		graphID     = fs.String("graph", "bench-overload", "overload mode: graph id to create (or reuse) on the server")
@@ -177,6 +184,43 @@ func run(args []string, out io.Writer) error {
 		if _, err := solver.New(algoNames[i]); err != nil {
 			return err
 		}
+	}
+
+	if *mutate {
+		if *throughput || *overload {
+			return fmt.Errorf("-mutate is mutually exclusive with -throughput and -overload")
+		}
+		if *mutations < 1 {
+			return fmt.Errorf("-mutations must be ≥ 1, got %d", *mutations)
+		}
+		if *batchOps < 1 {
+			return fmt.Errorf("-batch-ops must be ≥ 1, got %d", *batchOps)
+		}
+		if *solveClients < 0 {
+			return fmt.Errorf("-solve-clients must be ≥ 0, got %d", *solveClients)
+		}
+		// The default -algos is a sweep; the replay solves one algorithm,
+		// so take its first entry unless the user explicitly asked for more.
+		algosSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "algos" {
+				algosSet = true
+			}
+		})
+		if !algosSet {
+			algoNames = algoNames[:1]
+		}
+		if len(sizes) > 1 || len(kSweep) > 1 || len(algoNames) > 1 || len(modes) > 1 {
+			return fmt.Errorf("-mutate drives a single configuration; got sweeps n=%q ks=%q algos=%q regions=%q",
+				*ns, *ks, *algos, *regions)
+		}
+		cfg := mutateConfig{
+			n: sizes[0], genKind: *genKind, avgDeg: *avgDeg, seed: *seed,
+			algo: algoNames[0], k: kSweep[0], starts: *starts, samples: *samples,
+			batches: *mutations, batchOps: *batchOps, conc: *solveClients,
+			dataDir: *dataDir, fsync: *fsyncPolicy,
+		}
+		return runMutate(cfg, *outPath, out, args)
 	}
 
 	if *overload {

@@ -1,0 +1,345 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"slices"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"waso/internal/core"
+	"waso/internal/gen"
+	"waso/internal/graph"
+	"waso/internal/service"
+	"waso/internal/store"
+)
+
+// Mutation-replay mode: the churn benchmark for the durable mutable-graph
+// path. It stands up a real in-process service.Service (the wasod serving
+// stack minus HTTP), loads one generated graph, and then applies random
+// mutation batches through Service.Mutate while concurrent clients keep
+// solving against the same graph — the mixed read/write workload PATCH
+// serves in production. Batches are always valid (generated against the
+// live graph via Service.Get) so every measured call exercises the full
+// path: WAL append under the chosen fsync policy, canonical COW rebuild,
+// Prep rescore, and surgical region-cache invalidation.
+//
+// Output rows follow the BENCH_solvers.json shape: one row for mutation
+// latency (ns_per_op is the mean; qps is batches/s) and, when -concurrency
+// clients ran, one for solve latency during churn. The mutate row carries
+// metric deltas (WAL appends/bytes/fsyncs, snapshots, region-cache
+// invalidations) scraped from the service registry around the replay.
+
+// mutateConfig parameterizes one mutation replay.
+type mutateConfig struct {
+	n        int
+	genKind  string
+	avgDeg   float64
+	seed     uint64
+	algo     string
+	k        int
+	starts   int
+	samples  int
+	batches  int
+	batchOps int
+	conc     int
+	dataDir  string
+	fsync    string
+}
+
+// mutateStoreOptions parses the -fsync policy string shared with wasod:
+// "always", "off", or a group-commit interval duration.
+func mutateStoreOptions(fsync string) (store.Options, error) {
+	switch fsync {
+	case "always":
+		return store.Options{Fsync: store.FsyncAlways}, nil
+	case "off":
+		return store.Options{Fsync: store.FsyncOff}, nil
+	}
+	iv, err := time.ParseDuration(fsync)
+	if err != nil || iv <= 0 {
+		return store.Options{}, fmt.Errorf("-fsync must be \"always\", \"off\", or a positive duration, got %q", fsync)
+	}
+	return store.Options{Fsync: store.FsyncInterval, Interval: iv}, nil
+}
+
+func runMutate(cfg mutateConfig, outPath string, out io.Writer, args []string) error {
+	const id = "bench-mutate"
+
+	var st *store.Store
+	durable := cfg.dataDir != ""
+	if durable {
+		dir := cfg.dataDir
+		if dir == "temp" {
+			tmp, err := os.MkdirTemp("", "wasobench-mutate-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		opts, err := mutateStoreOptions(cfg.fsync)
+		if err != nil {
+			return err
+		}
+		st, err = store.Open(dir, opts)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+	}
+
+	svc := service.New(service.Config{Store: st})
+	defer svc.Close()
+
+	fmt.Fprintf(os.Stderr, "wasobench: generating %s n=%d avgdeg=%g...\n", cfg.genKind, cfg.n, cfg.avgDeg)
+	g, err := gen.Spec{Kind: cfg.genKind, N: cfg.n, AvgDeg: cfg.avgDeg, Seed: cfg.seed}.Build()
+	if err != nil {
+		return err
+	}
+	if _, err := svc.Load(id, g, "bench"); err != nil {
+		return err
+	}
+
+	// Solve clients: a closed loop against the mutating graph until the
+	// mutator finishes. Latencies index a growing slice under a mutex —
+	// the count is unknown up front.
+	solveReq := core.DefaultRequest(cfg.k)
+	solveReq.Starts = cfg.starts
+	solveReq.Samples = cfg.samples
+	var (
+		stopSolves atomic.Bool
+		solveMu    sync.Mutex
+		solveLat   []float64
+		solveSeq   atomic.Uint64
+		solveErr   error
+		wg         sync.WaitGroup
+	)
+	ctx := context.Background()
+	for c := 0; c < cfg.conc; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each client completes at least one solve even if the mutation
+			// replay finishes first — a solve row with zero samples would
+			// report nothing about churn-time latency.
+			for i := 0; i == 0 || !stopSolves.Load(); i++ {
+				req := solveReq
+				req.Seed = cfg.seed + solveSeq.Add(1)
+				t0 := time.Now()
+				_, err := svc.Solve(ctx, id, cfg.algo, req)
+				ns := float64(time.Since(t0).Nanoseconds())
+				solveMu.Lock()
+				if err != nil {
+					if solveErr == nil {
+						solveErr = err
+					}
+					solveMu.Unlock()
+					return
+				}
+				solveLat = append(solveLat, ns)
+				solveMu.Unlock()
+			}
+		}()
+	}
+
+	// The mutator: cfg.batches random batches, sequentially (PATCH is
+	// serialized by the service's control-plane lock anyway — one writer
+	// measures the path, not lock contention).
+	rng := rand.New(rand.NewSource(int64(cfg.seed)))
+	before := svc.Metrics().Snapshot()
+	mutLat := make([]float64, 0, cfg.batches)
+	began := time.Now()
+	for i := 0; i < cfg.batches; i++ {
+		cur, _, err := svc.Get(id)
+		if err != nil {
+			stopSolves.Store(true)
+			wg.Wait()
+			return err
+		}
+		batch := randomBatch(rng, cur, cfg.batchOps)
+		t0 := time.Now()
+		if _, err := svc.Mutate(ctx, id, batch, -1); err != nil {
+			stopSolves.Store(true)
+			wg.Wait()
+			return fmt.Errorf("mutation batch %d: %w", i, err)
+		}
+		mutLat = append(mutLat, float64(time.Since(t0).Nanoseconds()))
+	}
+	wall := time.Since(began)
+	stopSolves.Store(true)
+	wg.Wait()
+	solveWall := time.Since(began)
+	if solveErr != nil {
+		return fmt.Errorf("solve during churn: %w", solveErr)
+	}
+	delta := metricDelta(before, svc.Metrics().Snapshot())
+
+	rep := report{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		Goos:       runtime.GOOS,
+		Goarch:     runtime.GOARCH,
+		CPU:        cpuModel(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Command:    "wasobench " + strings.Join(args, " "),
+		Note: fmt.Sprintf("Mutation replay: %d random batches of %d ops (set_interest/add_edge/del_edge/set_tau, "+
+			"always valid against the live graph) applied through Service.Mutate while %d clients solve "+
+			"(%s, %d starts x %d samples per request). Each batch pays the full durable path: WAL append "+
+			"(fsync=%s), canonical copy-on-write rebuild, Prep rescore of touched nodes, and surgical "+
+			"region-cache invalidation. ns_per_op is mean batch latency; qps is batches/s; the mutate row's "+
+			"'metrics' carries WAL/snapshot/invalidation deltas for the replay.",
+			cfg.batches, cfg.batchOps, cfg.conc, cfg.algo, cfg.starts, cfg.samples, durabilityLabel(durable, cfg.fsync)),
+	}
+	rep.Benchmarks = append(rep.Benchmarks, latencyRow(
+		mutateRowName(cfg, durable), mutLat, wall, delta))
+	if cfg.conc > 0 {
+		rep.Benchmarks = append(rep.Benchmarks, latencyRow(
+			mutateRowName(cfg, durable)+fmt.Sprintf("/solve=%s/conc=%d", cfg.algo, cfg.conc),
+			solveLat, solveWall, nil))
+	}
+	for _, e := range rep.Benchmarks {
+		fmt.Fprintf(os.Stderr, "wasobench: %-64s %12.0f ns/op  %9.1f qps\n", e.Name, e.NsPerOp, e.QPS)
+	}
+	return writeReport(out, outPath, rep)
+}
+
+// durabilityLabel names the persistence configuration for notes and rows.
+func durabilityLabel(durable bool, fsync string) string {
+	if !durable {
+		return "none (memory-only)"
+	}
+	return fsync
+}
+
+// mutateRowName renders the mutation row, omitting default axes like
+// rowName does and tagging durable runs with their fsync policy.
+func mutateRowName(cfg mutateConfig, durable bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "BenchmarkMutate/n=%d", cfg.n)
+	if cfg.genKind != defaultGen {
+		fmt.Fprintf(&b, "/gen=%s", cfg.genKind)
+	}
+	if cfg.k != defaultK {
+		fmt.Fprintf(&b, "/k=%d", cfg.k)
+	}
+	fmt.Fprintf(&b, "/batch=%d", cfg.batchOps)
+	if durable {
+		fmt.Fprintf(&b, "/durable=%s", cfg.fsync)
+	}
+	return b.String()
+}
+
+// latencyRow aggregates one latency sample set into a report entry.
+func latencyRow(name string, lat []float64, wall time.Duration, met map[string]float64) entry {
+	sorted := append([]float64(nil), lat...)
+	slices.Sort(sorted)
+	mean := 0.0
+	for _, v := range sorted {
+		mean += v
+	}
+	if len(sorted) > 0 {
+		mean /= float64(len(sorted))
+	}
+	return entry{
+		Name:    name,
+		Iters:   len(sorted),
+		NsPerOp: mean,
+		QPS:     float64(len(sorted)) / wall.Seconds(),
+		P50:     percentile(sorted, 50),
+		P95:     percentile(sorted, 95),
+		P99:     percentile(sorted, 99),
+		Metrics: met,
+	}
+}
+
+// metricDelta subtracts two registry snapshots over the families the
+// mutation replay moves; zero-delta series are dropped so memory-only rows
+// do not render a wall of zero WAL counters.
+func metricDelta(before, after map[string]float64) map[string]float64 {
+	out := make(map[string]float64)
+	for _, name := range []string{
+		"waso_graph_mutations_total",
+		"waso_wal_appends_total",
+		"waso_wal_append_bytes_total",
+		"waso_wal_fsyncs_total",
+		"waso_store_snapshots_total",
+		"waso_store_snapshot_bytes_total",
+		"waso_region_cache_invalidations_total",
+		"waso_region_cache_hits_total",
+		"waso_region_cache_misses_total",
+	} {
+		if d := after[name] - before[name]; d != 0 {
+			out[name] = d
+		}
+	}
+	return out
+}
+
+// randomBatch generates ops valid against g: η edits on untouched nodes,
+// re-weights and deletions of existing edges, insertions of absent ones.
+// One canonical edge (or node, for η edits) appears at most once per batch
+// so op order within the batch cannot invalidate a later op.
+func randomBatch(rng *rand.Rand, g *graph.Graph, ops int) []graph.Mutation {
+	n := g.N()
+	muts := make([]graph.Mutation, 0, ops)
+	usedNode := make(map[graph.NodeID]bool, ops)
+	usedEdge := make(map[[2]graph.NodeID]bool, ops)
+	edgeKey := func(u, v graph.NodeID) [2]graph.NodeID {
+		if u > v {
+			u, v = v, u
+		}
+		return [2]graph.NodeID{u, v}
+	}
+	// Bounded resampling: a pick that collides with the batch (or needs an
+	// edge where the node has none) is retried, and set_interest is the
+	// always-available fallback so the loop cannot spin on a sparse graph.
+	for len(muts) < ops {
+		u := graph.NodeID(rng.Intn(n))
+		switch rng.Intn(4) {
+		case 0: // set_interest
+			if usedNode[u] {
+				continue
+			}
+			usedNode[u] = true
+			muts = append(muts, graph.Mutation{Op: graph.MutSetInterest, U: u, Eta: 0.25 + 2*rng.Float64()})
+		case 1: // set_tau on an existing edge
+			deg := g.Degree(u)
+			if deg == 0 {
+				continue
+			}
+			v := g.Neighbors(u)[rng.Intn(deg)]
+			if k := edgeKey(u, v); !usedEdge[k] {
+				usedEdge[k] = true
+				tau := 0.25 + rng.Float64()
+				muts = append(muts, graph.Mutation{Op: graph.MutSetTau, U: u, V: v, TauOut: tau, TauIn: tau})
+			}
+		case 2: // add_edge between non-adjacent nodes
+			v := graph.NodeID(rng.Intn(n))
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			if k := edgeKey(u, v); !usedEdge[k] {
+				usedEdge[k] = true
+				tau := 0.25 + rng.Float64()
+				muts = append(muts, graph.Mutation{Op: graph.MutAddEdge, U: u, V: v, TauOut: tau, TauIn: tau})
+			}
+		case 3: // del_edge of an existing edge
+			deg := g.Degree(u)
+			if deg == 0 {
+				continue
+			}
+			v := g.Neighbors(u)[rng.Intn(deg)]
+			if k := edgeKey(u, v); !usedEdge[k] {
+				usedEdge[k] = true
+				muts = append(muts, graph.Mutation{Op: graph.MutDelEdge, U: u, V: v})
+			}
+		}
+	}
+	return muts
+}

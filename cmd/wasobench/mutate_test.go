@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMutateReplay: the mutation-replay mode produces a mutate row (with
+// WAL and invalidation metric deltas) plus a solve row, against a durable
+// store on a temp dir.
+func TestMutateReplay(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	err := run([]string{
+		"-mutate", "-n", "1500", "-gen", "er", "-avgdeg", "3",
+		"-mutations", "12", "-batch-ops", "3", "-solve-clients", "2",
+		"-samples", "5", "-ks", "4", "-algos", "cbasnd",
+		"-data-dir", filepath.Join(dir, "data"), "-fsync", "off",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var rep report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("got %d rows, want 2 (mutate + solve): %v", len(rep.Benchmarks), names(rep.Benchmarks))
+	}
+	mut := rep.Benchmarks[0]
+	if want := "BenchmarkMutate/n=1500/gen=er/k=4/batch=3/durable=off"; mut.Name != want {
+		t.Errorf("mutate row name = %q, want %q", mut.Name, want)
+	}
+	if mut.Iters != 12 || mut.NsPerOp <= 0 || mut.QPS <= 0 || mut.P99 < mut.P50 {
+		t.Errorf("mutate row = %+v, want 12 iters with positive latency stats", mut)
+	}
+	// Every batch must have hit the WAL; the first replays also churn the
+	// region cache, but invalidations depend on which balls were cached,
+	// so only the WAL families are asserted exactly.
+	if got := mut.Metrics["waso_graph_mutations_total"]; got != 12 {
+		t.Errorf("mutations delta = %v, want 12", got)
+	}
+	if got := mut.Metrics["waso_wal_appends_total"]; got != 12 {
+		t.Errorf("wal appends delta = %v, want 12", got)
+	}
+	if got := mut.Metrics["waso_wal_append_bytes_total"]; got <= 0 {
+		t.Errorf("wal append bytes delta = %v, want > 0", got)
+	}
+
+	solve := rep.Benchmarks[1]
+	if !strings.HasSuffix(solve.Name, "/solve=cbasnd/conc=2") {
+		t.Errorf("solve row name = %q, want .../solve=cbasnd/conc=2 suffix", solve.Name)
+	}
+	if solve.Iters <= 0 || solve.NsPerOp <= 0 {
+		t.Errorf("solve row = %+v, want at least one completed solve", solve)
+	}
+}
+
+// TestMutateReplayMemoryOnly: without -data-dir the replay runs
+// memory-only — no WAL deltas, no durable tag in the row name.
+func TestMutateReplayMemoryOnly(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-mutate", "-n", "1200", "-gen", "er", "-avgdeg", "3",
+		"-mutations", "6", "-solve-clients", "0", "-samples", "5",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var rep report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(rep.Benchmarks) != 1 {
+		t.Fatalf("got %d rows, want 1 (mutations only): %v", len(rep.Benchmarks), names(rep.Benchmarks))
+	}
+	mut := rep.Benchmarks[0]
+	if want := "BenchmarkMutate/n=1200/gen=er/batch=4"; mut.Name != want {
+		t.Errorf("row name = %q, want %q", mut.Name, want)
+	}
+	if got := mut.Metrics["waso_wal_appends_total"]; got != 0 {
+		t.Errorf("memory-only replay recorded WAL appends: %v", got)
+	}
+	if got := mut.Metrics["waso_graph_mutations_total"]; got != 6 {
+		t.Errorf("mutations delta = %v, want 6", got)
+	}
+}
+
+// TestMutateFlagValidation: sweeps and bad values fail before any build.
+func TestMutateFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"sweep", []string{"-mutate", "-n", "100,200"}, "single configuration"},
+		{"zero batches", []string{"-mutate", "-mutations", "0"}, "-mutations"},
+		{"zero ops", []string{"-mutate", "-batch-ops", "0"}, "-batch-ops"},
+		{"bad fsync", []string{"-mutate", "-data-dir", "temp", "-fsync", "sometimes", "-n", "100"}, "-fsync"},
+		{"with throughput", []string{"-mutate", "-throughput"}, "mutually exclusive"},
+	} {
+		err := run(tc.args, &bytes.Buffer{})
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}

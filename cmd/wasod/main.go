@@ -8,7 +8,10 @@
 //	                           binary codec upload (application/octet-stream
 //	                           with ?id=)
 //	GET  /v1/graphs          — list resident graphs
-//	DELETE /v1/graphs/{id}   — evict a graph
+//	PATCH /v1/graphs/{id}    — apply a batch of mutation ops (set_interest,
+//	                           add_edge, del_edge, set_tau), optionally
+//	                           conditional on "if_version" (409 on mismatch)
+//	DELETE /v1/graphs/{id}   — evict a graph (and its durable state)
 //	POST /v1/solve           — run a solver against a resident graph
 //	POST /v1/solve/batch     — run many (algo, request) items against one
 //	                           graph in a single round-trip; per-item
@@ -20,6 +23,13 @@
 // server's -timeout; deadline overruns surface as 504s. All solving runs
 // on the service's shared executor, so concurrent and batched requests
 // never oversubscribe the CPU.
+//
+// With -data-dir set, graphs are durable: uploads write a snapshot,
+// PATCHes append to a per-graph WAL under the -fsync policy, and boot
+// replays everything back before the listener opens (a corrupt log fails
+// startup loudly — see README "Persistence & recovery"). While the store
+// is degraded after a disk fault, writes answer 503 + Retry-After and
+// resident graphs keep serving solves.
 package main
 
 import (
@@ -47,6 +57,7 @@ import (
 	"waso/internal/gen"
 	"waso/internal/graph"
 	"waso/internal/service"
+	"waso/internal/store"
 )
 
 func main() {
@@ -71,8 +82,36 @@ func main() {
 		degradeStarts  = flag.Int("degrade-starts", 1, "start budget applied to degraded solves")
 		retryAfter     = flag.Duration("retry-after", time.Second, "base Retry-After backoff hint on shed responses (jittered per response)")
 		drainGrace     = flag.Duration("drain-grace", time.Second, "after SIGTERM, keep serving with /healthz at 503 this long before closing the listener, so load balancers observe the drain and rotate the instance out")
+
+		dataDir       = flag.String("data-dir", "", "directory for durable graph state (snapshots + write-ahead logs); empty = memory-only serving")
+		fsyncPolicy   = flag.String("fsync", "always", `WAL durability policy: "always" (fsync per mutation), "off" (OS decides), or a duration like "100ms" (group-commit interval)`)
+		snapshotEvery = flag.Int("snapshot-every", 0, "WAL records per graph before it is folded into a fresh snapshot (0 = default, negative = never)")
 	)
 	flag.Parse()
+
+	var st *store.Store
+	if *dataDir != "" {
+		opts := store.Options{SnapshotEvery: *snapshotEvery}
+		switch *fsyncPolicy {
+		case "always":
+			opts.Fsync = store.FsyncAlways
+		case "off":
+			opts.Fsync = store.FsyncOff
+		default:
+			iv, err := time.ParseDuration(*fsyncPolicy)
+			if err != nil || iv <= 0 {
+				log.Fatalf("wasod: -fsync must be \"always\", \"off\", or a positive duration, got %q", *fsyncPolicy)
+			}
+			opts.Fsync = store.FsyncInterval
+			opts.Interval = iv
+		}
+		var err error
+		st, err = store.Open(*dataDir, opts)
+		if err != nil {
+			log.Fatalf("wasod: open data dir: %v", err)
+		}
+		defer st.Close()
+	}
 
 	svc := service.New(service.Config{
 		DefaultTimeout: *timeout,
@@ -91,8 +130,24 @@ func main() {
 			DegradeStarts:  *degradeStarts,
 			RetryAfter:     *retryAfter,
 		},
+		Store: st,
 	})
 	defer svc.Close()
+	if st != nil {
+		// Replay durable graphs before the listener opens: a recovered but
+		// unreachable server is better than an early listener answering 404
+		// for graphs that exist on disk. A corrupt log fails boot loudly —
+		// truncating it silently would drop acknowledged mutations.
+		recovered, err := svc.Recover()
+		if err != nil {
+			log.Fatalf("wasod: recovery failed, refusing to serve: %v", err)
+		}
+		for _, info := range recovered {
+			log.Printf("wasod: recovered graph %q (%d nodes, %d edges, version %d)",
+				info.ID, info.Nodes, info.Edges, info.Version)
+		}
+		log.Printf("wasod: durable store at %s (%d graphs recovered, fsync=%s)", *dataDir, len(recovered), *fsyncPolicy)
+	}
 	var logger *slog.Logger
 	if *accessLog {
 		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -165,6 +220,7 @@ func newMux(svc *service.Service, maxBody int64, maxTimeout time.Duration, enabl
 	mux.HandleFunc("GET /metrics", a.metrics)
 	mux.HandleFunc("POST /v1/graphs", a.putGraph)
 	mux.HandleFunc("GET /v1/graphs", a.listGraphs)
+	mux.HandleFunc("PATCH /v1/graphs/{id}", a.mutateGraph)
 	mux.HandleFunc("DELETE /v1/graphs/{id}", a.evictGraph)
 	mux.HandleFunc("POST /v1/solve", a.solve)
 	mux.HandleFunc("POST /v1/solve/batch", a.solveBatch)
@@ -203,10 +259,11 @@ func statusOf(err error) int {
 	case errors.As(err, &tooBig):
 		return http.StatusRequestEntityTooLarge
 	case errors.As(err, &overload):
-		// Shed work is 429 Too Many Requests; a draining server is 503 —
-		// it will not take new work however lightly loaded, so clients
-		// should fail over, not back off and retry here.
-		if overload.Reason == admit.ReasonDrain {
+		// Shed work is 429 Too Many Requests; a draining server or a
+		// degraded read-only store is 503 — neither will take this work
+		// however lightly loaded, so clients should fail over, not back
+		// off and retry here.
+		if overload.Reason == admit.ReasonDrain || overload.Reason == admit.ReasonStorage {
 			return http.StatusServiceUnavailable
 		}
 		return http.StatusTooManyRequests
@@ -214,7 +271,7 @@ func statusOf(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, service.ErrNotFound):
 		return http.StatusNotFound
-	case errors.Is(err, service.ErrExists):
+	case errors.Is(err, service.ErrExists), errors.Is(err, service.ErrConflict):
 		return http.StatusConflict
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
@@ -338,6 +395,47 @@ func (a *api) putGraph(w http.ResponseWriter, r *http.Request) {
 
 func (a *api) listGraphs(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]service.GraphInfo{"graphs": a.svc.List()})
+}
+
+// mutateBody is the PATCH envelope: a batch of mutation ops plus an
+// optional optimistic-concurrency precondition. Ops stays raw here so
+// graph.DecodeMutations owns the per-op validation in one place.
+type mutateBody struct {
+	IfVersion *int64          `json:"if_version,omitempty"`
+	Ops       json.RawMessage `json:"ops"`
+}
+
+func (a *api) mutateGraph(w http.ResponseWriter, r *http.Request) {
+	var body mutateBody
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, a.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		fail(w, fmt.Errorf("%w: %w", service.ErrInvalid, err))
+		return
+	}
+	if len(body.Ops) == 0 {
+		fail(w, fmt.Errorf("%w: \"ops\" is required", service.ErrInvalid))
+		return
+	}
+	muts, err := graph.DecodeMutations(bytes.NewReader(body.Ops))
+	if err != nil {
+		fail(w, fmt.Errorf("%w: %w", service.ErrInvalid, err))
+		return
+	}
+	ifVersion := int64(-1)
+	if body.IfVersion != nil {
+		if *body.IfVersion < 0 {
+			fail(w, fmt.Errorf("%w: \"if_version\" must be non-negative", service.ErrInvalid))
+			return
+		}
+		ifVersion = *body.IfVersion
+	}
+	info, err := a.svc.Mutate(r.Context(), r.PathValue("id"), muts, ifVersion)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (a *api) evictGraph(w http.ResponseWriter, r *http.Request) {

@@ -41,29 +41,51 @@
 //	          quotas, drain). It imports neither solver nor net/http —
 //	          the service feeds it signals and maps its decisions onto
 //	          transports.
+//	store   — the durable layer, beside admit below service: per-graph
+//	          crash-safe persistence as periodic binary snapshots plus a
+//	          CRC-framed append-only mutation log (WAL) replayed at boot.
+//	          Recovery truncates torn tails (an interrupted append) but
+//	          fails loudly on mid-log corruption (*store.CorruptLogError)
+//	          rather than silently dropping acknowledged writes; any
+//	          write failure degrades the store to read-only instead of
+//	          risking a half-written log. It imports only graph (for the
+//	          codec and Mutation vocabulary) and takes its filesystem as
+//	          an interface, so fault-injection tests can cut power at
+//	          every byte offset.
 //	service — the serving layer: concurrency-safe in-memory graph store
-//	          (load/generate/evict) holding one solver.Prep, one
+//	          (load/generate/evict/mutate) holding one solver.Prep, one
 //	          workspace pool and one region cache per graph, one
 //	          process-wide solver.Executor every request runs on, and
 //	          the Solve/SolveBatch orchestrators with per-request
 //	          deadlines (batch items run concurrently and fail
 //	          independently, with answers bit-identical to sequential
-//	          single solves). The service also owns the process
-//	          metrics.Registry: per-algo solve latency and quality
-//	          moments, executor backlog, cache/pool counters that stay
-//	          monotone across graph eviction. Every Solve (interactive)
-//	          and SolveBatch (bulk) passes the admit.Controller first;
-//	          shed requests surface as *OverloadError, degraded ones run
-//	          with clamped budgets and Report.Degraded set.
+//	          single solves). Mutate applies a validated batch through
+//	          the WAL (durability before visibility), then surgically
+//	          refreshes per-graph state — Prep rescores only touched
+//	          nodes, the region cache drops only (start, radius) balls
+//	          within radius hops of an edit — so mutated-graph solves
+//	          stay bit-identical to fresh-upload solves. The service
+//	          also owns the process metrics.Registry: per-algo solve
+//	          latency and quality moments, executor backlog, cache/pool
+//	          counters that stay monotone across graph eviction, and the
+//	          waso_wal_*/waso_store_* durability families. Every Solve
+//	          (interactive) and SolveBatch (bulk) passes the
+//	          admit.Controller first; shed requests surface as
+//	          *OverloadError, degraded ones run with clamped budgets and
+//	          Report.Degraded set.
 //	cmd     — the front ends over the same Request path: cmd/waso
 //	          (experiment harness and -batch item runner), cmd/wasod
-//	          (JSON HTTP server incl. POST /v1/solve/batch, GET /metrics
-//	          Prometheus exposition, structured access logs, opt-in
-//	          -pprof; overload maps to 429/503 with jittered Retry-After
-//	          and SIGTERM runs the drain sequence), and cmd/wasobench
-//	          (large-graph scaling benchmarks, the -throughput serving
-//	          replay whose rows carry scraped metric deltas, and the
-//	          -overload shed-don't-collapse gate against a live wasod).
+//	          (JSON HTTP server incl. POST /v1/solve/batch, PATCH
+//	          /v1/graphs/{id} mutation batches, GET /metrics Prometheus
+//	          exposition, structured access logs, opt-in -pprof;
+//	          -data-dir turns on the durable store with boot-time
+//	          recovery; overload maps to 429/503 with jittered
+//	          Retry-After and SIGTERM runs the drain sequence), and
+//	          cmd/wasobench (large-graph scaling benchmarks, the
+//	          -throughput serving replay whose rows carry scraped metric
+//	          deltas, the -mutate churn replay over the durable path,
+//	          and the -overload shed-don't-collapse gate against a live
+//	          wasod).
 //	lint    — off to the side of the tower: internal/lint and its driver
 //	          cmd/wasolint machine-check the conventions the layers above
 //	          rely on (solver result-path determinism, the waso_ metric

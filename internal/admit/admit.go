@@ -53,6 +53,12 @@ const (
 	ReasonInflight = "inflight" // total admitted solves at MaxInflight
 	ReasonQuota    = "quota"    // per-client concurrency quota exhausted
 	ReasonDrain    = "drain"    // server is draining for shutdown
+
+	// ReasonStorage is not a controller decision: the serving layer uses it
+	// when the durable store has degraded to read-only and writes must be
+	// refused. It shares the OverloadError surface (503 + Retry-After) so
+	// clients back off the same way they do for a drain.
+	ReasonStorage = "storage"
 )
 
 // Config are the admission thresholds. The zero value admits everything —

@@ -178,3 +178,43 @@ bfs:
 func (g *Graph) ExtractRegion(start NodeID, radius, maxNodes int) *Region {
 	return NewRegionBuilder(g).Extract(start, radius, maxNodes)
 }
+
+// HopDistances runs a multi-source BFS from sources and returns the hop
+// distance of every node within maxDepth hops of any source (sources
+// themselves at distance 0). Out-of-range source ids are ignored, so
+// callers can pass touched-node sets straight across a mutation that
+// removed or appended nodes. The serving layer uses this to decide which
+// cached (start, radius) region balls a mutation's touched set reaches:
+// a ball is stale iff dist(start) ≤ radius.
+func (g *Graph) HopDistances(sources []NodeID, maxDepth int) map[NodeID]int {
+	dist := make(map[NodeID]int, len(sources))
+	q := make([]NodeID, 0, len(sources))
+	for _, s := range sources {
+		if int(s) < 0 || int(s) >= g.N() {
+			continue
+		}
+		if _, seen := dist[s]; seen {
+			continue
+		}
+		dist[s] = 0
+		q = append(q, s)
+	}
+	levelEnd, depth := len(q), 0
+	for head := 0; head < len(q); head++ {
+		if head == levelEnd {
+			depth++
+			levelEnd = len(q)
+		}
+		if depth >= maxDepth {
+			break
+		}
+		for _, u := range g.Neighbors(q[head]) {
+			if _, seen := dist[u]; seen {
+				continue
+			}
+			dist[u] = depth + 1
+			q = append(q, u)
+		}
+	}
+	return dist
+}

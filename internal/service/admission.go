@@ -72,6 +72,19 @@ func (e *OverloadError) Error() string {
 	return fmt.Sprintf("service: overloaded (%s), retry in ~%s", e.Reason, e.RetryAfter)
 }
 
+// storageRetryAfter is the backoff hint attached to writes refused while
+// the durable store is degraded. Recovery needs an operator (or at least a
+// restart), so the hint is long compared to queue-pressure backoffs.
+const storageRetryAfter = 10 * time.Second
+
+// storageUnavailable is the overload error for writes refused because the
+// durable store has degraded to read-only. It rides the same surface as
+// admission sheds — transports map it to 503 + Retry-After — because the
+// client remedy is identical: back off and retry against a healthy server.
+func storageUnavailable() error {
+	return &OverloadError{Reason: admit.ReasonStorage, RetryAfter: storageRetryAfter}
+}
+
 // admitSolve runs one admission decision. On admission it returns the
 // decision (Degraded and the clamp budgets, for clampRequest) and the
 // quota release; a shed request comes back as *OverloadError.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"waso/internal/metrics"
+	"waso/internal/store"
 )
 
 // Observability: the service owns the process metrics registry and every
@@ -49,21 +50,30 @@ type solveMetrics struct {
 // resident entries on top.
 type cacheTotals struct {
 	regionHits, regionMisses, regionNegHits, regionEvictions uint64
+	regionInvalidated                                        uint64
 	poolGets, poolAllocs                                     uint64
 }
 
 // addEntry folds one graph entry's current counters into t.
 func (t *cacheTotals) addEntry(e *entry) {
-	ps := e.pool.Stats()
-	t.poolGets += ps.Gets
-	t.poolAllocs += ps.Allocs
+	t.addPool(e)
 	if e.regions != nil {
 		rs := e.regions.Stats()
 		t.regionHits += rs.Hits
 		t.regionMisses += rs.Misses
 		t.regionNegHits += rs.NegativeHits
 		t.regionEvictions += rs.Evictions
+		t.regionInvalidated += rs.Invalidated
 	}
+}
+
+// addPool folds only the entry's workspace-pool counters — what Mutate
+// retires when it rebuilds the pool for a mutated graph while the region
+// cache's counters move into the clone.
+func (t *cacheTotals) addPool(e *entry) {
+	ps := e.pool.Stats()
+	t.poolGets += ps.Gets
+	t.poolAllocs += ps.Allocs
 }
 
 // cacheTotalsNow returns retired totals plus every resident entry's
@@ -142,6 +152,9 @@ func (s *Service) registerMetrics() {
 	reg.CounterFunc("waso_region_cache_evictions_total",
 		"Region-cache entries dropped by the entry or byte bound.",
 		func() float64 { return float64(s.cacheTotalsNow().regionEvictions) })
+	reg.CounterFunc("waso_region_cache_invalidations_total",
+		"Region-cache entries dropped because a mutation touched their ball.",
+		func() float64 { return float64(s.cacheTotalsNow().regionInvalidated) })
 	reg.CounterFunc("waso_workspace_pool_gets_total",
 		"Workspaces handed out by per-graph pools.",
 		func() float64 { return float64(s.cacheTotalsNow().poolGets) })
@@ -150,6 +163,70 @@ func (s *Service) registerMetrics() {
 		func() float64 { return float64(s.cacheTotalsNow().poolAllocs) })
 
 	s.registerAdmissionMetrics()
+	s.registerStoreMetrics()
+}
+
+// storeStats reads the durable layer's counters; a memory-only service
+// reports zeros so the waso_wal_* / waso_store_* families are always
+// present with stable shapes.
+func (s *Service) storeStats() store.Stats {
+	if s.st == nil {
+		return store.Stats{}
+	}
+	return s.st.Stats()
+}
+
+// registerStoreMetrics builds the durability families. Registered
+// unconditionally: a memory-only service exports them at zero, so
+// dashboards and alerts keep one shape across deployments.
+func (s *Service) registerStoreMetrics() {
+	reg := s.reg
+	reg.CounterFunc("waso_graph_mutations_total",
+		"Mutation batches applied across all graphs.",
+		func() float64 { return float64(s.mutations.Load()) })
+	reg.CounterFunc("waso_wal_appends_total",
+		"Mutation records appended to graph WALs.",
+		func() float64 { return float64(s.storeStats().Appends) })
+	reg.CounterFunc("waso_wal_append_bytes_total",
+		"Bytes appended to graph WALs.",
+		func() float64 { return float64(s.storeStats().AppendBytes) })
+	reg.CounterFunc("waso_wal_fsyncs_total",
+		"WAL fsyncs issued (inline or group-commit).",
+		func() float64 { return float64(s.storeStats().Fsyncs) })
+	reg.GaugeFunc("waso_wal_size_bytes",
+		"Current total WAL size across resident graphs.",
+		func() float64 { return float64(s.storeStats().WALBytes) })
+	reg.CounterFunc("waso_store_snapshots_total",
+		"Graph snapshots written (including create-time ones).",
+		func() float64 { return float64(s.storeStats().Snapshots) })
+	reg.CounterFunc("waso_store_snapshot_bytes_total",
+		"Bytes written to graph snapshots.",
+		func() float64 { return float64(s.storeStats().SnapshotBytes) })
+	reg.CounterFunc("waso_store_recovery_graphs_total",
+		"Graphs rebuilt from disk at boot.",
+		func() float64 { return float64(s.storeStats().RecoveredGraphs) })
+	reg.CounterFunc("waso_store_recovery_records_total",
+		"WAL records replayed on top of snapshots at boot.",
+		func() float64 { return float64(s.storeStats().RecoveredRecords) })
+	reg.CounterFunc("waso_store_recovery_truncated_bytes_total",
+		"Torn WAL tail bytes dropped during recovery.",
+		func() float64 { return float64(s.storeStats().TruncatedBytes) })
+	reg.GaugeFunc("waso_store_durable",
+		"1 when a durable store is configured, else 0.",
+		func() float64 {
+			if s.st != nil {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("waso_store_read_only",
+		"1 while the durable store is degraded to read-only, else 0.",
+		func() float64 {
+			if s.storeStats().ReadOnly {
+				return 1
+			}
+			return 0
+		})
 }
 
 // Metrics returns the service's registry — the single source /metrics and
@@ -177,10 +254,21 @@ func errKind(err error) string {
 // uptime, and the drain flag transports use as the readiness signal (a
 // draining server is alive but should be rotated out of load balancing).
 type Health struct {
-	Graphs        int     `json:"graphs"`
-	ExecutorQueue int     `json:"executor_queue"`
-	UptimeS       float64 `json:"uptime_s"`
-	Draining      bool    `json:"draining,omitempty"`
+	Graphs        int         `json:"graphs"`
+	ExecutorQueue int         `json:"executor_queue"`
+	UptimeS       float64     `json:"uptime_s"`
+	Draining      bool        `json:"draining,omitempty"`
+	Store         StoreHealth `json:"store"`
+}
+
+// StoreHealth summarizes the durable layer for /healthz: whether one is
+// configured at all, whether it has degraded to read-only (writes are
+// being refused with 503), and the WAL footprint awaiting the next
+// snapshot.
+type StoreHealth struct {
+	Durable  bool  `json:"durable"`
+	ReadOnly bool  `json:"read_only"`
+	WALBytes int64 `json:"wal_bytes"`
 }
 
 // Health returns the current liveness summary.
@@ -188,10 +276,16 @@ func (s *Service) Health() Health {
 	s.mu.RLock()
 	graphs := len(s.graphs)
 	s.mu.RUnlock()
+	st := s.storeStats()
 	return Health{
 		Graphs:        graphs,
 		ExecutorQueue: s.exec.Stats().TasksQueued,
 		UptimeS:       time.Since(s.start).Seconds(),
 		Draining:      s.adm.Draining(),
+		Store: StoreHealth{
+			Durable:  s.st != nil,
+			ReadOnly: st.ReadOnly,
+			WALBytes: st.WALBytes,
+		},
 	}
 }

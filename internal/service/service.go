@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"waso/internal/admit"
@@ -35,6 +36,7 @@ import (
 	"waso/internal/graph"
 	"waso/internal/metrics"
 	"waso/internal/solver"
+	"waso/internal/store"
 )
 
 // Sentinel errors, used by transports to pick status codes.
@@ -46,6 +48,10 @@ var (
 	// ErrInvalid wraps caller mistakes: bad ids, unknown algorithms,
 	// invalid requests, graphs that fail validation.
 	ErrInvalid = errors.New("service: invalid argument")
+	// ErrConflict reports a conditional mutation whose if_version did not
+	// match the graph's current version — the optimistic-concurrency miss
+	// transports map to 409.
+	ErrConflict = errors.New("service: version conflict")
 )
 
 // Config tunes a Service.
@@ -73,6 +79,11 @@ type Config struct {
 	// shedding, per-client quotas, degrade-before-shed). The zero value
 	// admits everything; see admit.Config.
 	Admit admit.Config
+	// Store, when non-nil, is the durable layer: uploads write a snapshot,
+	// mutations append to the graph's WAL, and Recover replays everything
+	// back at boot. Nil means memory-only serving (state dies with the
+	// process), which keeps tests and ephemeral benchmarks cheap.
+	Store *store.Store
 }
 
 // GraphInfo is the wire-ready description of one resident graph.
@@ -84,6 +95,12 @@ type GraphInfo struct {
 	Source    string    `json:"source"`  // provenance: "upload", "binary", gen.Spec string, ...
 	Prepped   bool      `json:"prepped"` // precomputed NodeScore ranking is resident
 	CreatedAt time.Time `json:"created_at"`
+	// Version is the graph's monotone mutation counter: 0 as loaded, +1
+	// per applied PATCH batch. It doubles as the optimistic-concurrency
+	// token for conditional mutations (if_version).
+	Version uint64 `json:"version"`
+	// ResidentBytes is the in-memory CSR footprint of the graph's arrays.
+	ResidentBytes int64 `json:"resident_bytes"`
 }
 
 // entry pairs a graph with its shared precomputation, its workspace pool —
@@ -121,6 +138,20 @@ type Service struct {
 	reg *metrics.Registry
 	met solveMetrics
 
+	// st is the optional durable layer (Config.Store); nil = memory-only.
+	st *store.Store
+
+	// mutMu serializes the control plane — Load/Generate's durable
+	// registration, Mutate, Evict, Recover — so a mutation's
+	// apply→WAL-append→entry-swap sequence is atomic against concurrent
+	// loads and evictions. Solves never take it. Lock order: mutMu before
+	// s.mu, never the reverse.
+	mutMu sync.Mutex
+
+	// mutations counts applied mutation batches across all graphs
+	// (waso_graph_mutations_total).
+	mutations atomic.Uint64
+
 	mu      sync.RWMutex
 	graphs  map[string]*entry
 	retired cacheTotals // counters of evicted graphs, so totals stay monotone
@@ -134,6 +165,7 @@ func New(cfg Config) *Service {
 		exec:   solver.NewExecutor(0),
 		reg:    metrics.NewRegistry(),
 		graphs: make(map[string]*entry),
+		st:     cfg.Store,
 	}
 	// The controller reads the executor's own telemetry: task backlog
 	// (total and the bulk lane's share) and the queue-wait histogram whose
@@ -181,30 +213,50 @@ func (s *Service) Load(id string, g *graph.Graph, source string) (GraphInfo, err
 	// The ranking pass is O(n log n + m); do it outside the lock so a large
 	// upload never stalls concurrent solves. The region cache starts empty
 	// and fills on demand as requests touch (start, radius) keys.
+	e := s.newEntry(g, GraphInfo{
+		ID:        id,
+		Source:    source,
+		CreatedAt: time.Now().UTC(),
+	})
+	// The control-plane lock makes the durable create and the map insert
+	// one atomic step against concurrent loads, mutations and evictions.
+	s.mutMu.Lock()
+	defer s.mutMu.Unlock()
+	if err := s.admit(id); err != nil {
+		return GraphInfo{}, err
+	}
+	if s.st != nil {
+		if err := s.st.Create(id, g); err != nil {
+			if errors.Is(err, store.ErrReadOnly) {
+				return GraphInfo{}, storageUnavailable()
+			}
+			return GraphInfo{}, fmt.Errorf("service: persist graph: %w", err)
+		}
+	}
+	s.mu.Lock()
+	s.graphs[id] = e
+	s.mu.Unlock()
+	return e.info, nil
+}
+
+// newEntry builds a resident entry for g: precomputed ranking, workspace
+// pool, empty region cache, and the size fields of info filled in.
+func (s *Service) newEntry(g *graph.Graph, info GraphInfo) *entry {
+	info.Nodes = g.N()
+	info.Edges = g.M()
+	info.AvgDegree = g.AvgDegree()
+	info.Prepped = true
+	info.ResidentBytes = g.ResidentBytes()
 	e := &entry{
 		g:    g,
 		prep: solver.NewPrep(g),
 		pool: solver.NewWorkspacePool(g),
-		info: GraphInfo{
-			ID:        id,
-			Nodes:     g.N(),
-			Edges:     g.M(),
-			AvgDegree: g.AvgDegree(),
-			Source:    source,
-			Prepped:   true, // NewPrep above; List reports it per entry
-			CreatedAt: time.Now().UTC(),
-		},
+		info: info,
 	}
 	if s.cfg.MaxRegions >= 0 {
 		e.regions = solver.NewRegionCache(g, s.cfg.MaxRegions)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.admitLocked(id); err != nil {
-		return GraphInfo{}, err
-	}
-	s.graphs[id] = e
-	return e.info, nil
+	return e
 }
 
 // admit read-locks and runs the id/cap admission checks.
@@ -305,20 +357,171 @@ func (s *Service) List() []GraphInfo {
 	return out
 }
 
-// Evict removes the graph. In-flight solves against it finish normally —
-// they hold their own references.
+// Evict removes the graph, including its durable state. In-flight solves
+// against it finish normally — they hold their own references to the
+// graph, prep, pool and region cache, none of which Evict touches. The
+// control-plane lock means an eviction never lands in the middle of a
+// mutation's apply→append→swap sequence.
 func (s *Service) Evict(id string) error {
+	s.mutMu.Lock()
+	defer s.mutMu.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	e, ok := s.graphs[id]
+	if ok {
+		// Fold the dying entry's cache counters into the retired totals so
+		// the cross-graph counter families never move backwards on eviction.
+		s.retired.addEntry(e)
+		delete(s.graphs, id)
+	}
+	s.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
-	// Fold the dying entry's cache counters into the retired totals so the
-	// cross-graph counter families never move backwards on eviction.
-	s.retired.addEntry(e)
-	delete(s.graphs, id)
+	if s.st != nil {
+		if err := s.st.Remove(id); err != nil {
+			return fmt.Errorf("service: remove durable state: %w", err)
+		}
+	}
 	return nil
+}
+
+// Mutate applies one batch of mutations to the stored graph: validate and
+// apply copy-on-write, append the batch to the graph's WAL, then swap in a
+// new entry whose per-graph state is updated surgically — the NodeScore
+// ranking is delta-rescored for the touched nodes only, and the region
+// cache keeps every (start, radius) entry whose k-hop ball provably
+// excludes the edit (checked by BFS distance on both the old and new
+// graph), so unrelated cached regions stay hot across mutations.
+//
+// ifVersion < 0 applies unconditionally; otherwise the batch applies only
+// if the graph is currently at that version (ErrConflict when not — the
+// optimistic-concurrency handshake behind HTTP 409). Solves already in
+// flight keep their pre-mutation snapshot; solves admitted after Mutate
+// returns see the new graph. When the durable layer has degraded to
+// read-only, Mutate refuses with an *OverloadError transports map to
+// 503 + Retry-After.
+func (s *Service) Mutate(ctx context.Context, id string, muts []graph.Mutation, ifVersion int64) (GraphInfo, error) {
+	if len(muts) == 0 {
+		return GraphInfo{}, fmt.Errorf("%w: empty mutation batch", ErrInvalid)
+	}
+	if s.st != nil && s.st.ReadOnly() {
+		return GraphInfo{}, storageUnavailable()
+	}
+	s.mutMu.Lock()
+	defer s.mutMu.Unlock()
+	e, err := s.entryFor(id)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	if ifVersion >= 0 && uint64(ifVersion) != e.info.Version {
+		return GraphInfo{}, fmt.Errorf("%w: graph %q is at version %d, not %d",
+			ErrConflict, id, e.info.Version, ifVersion)
+	}
+	newG, touched, err := e.g.ApplyMutations(muts)
+	if err != nil {
+		return GraphInfo{}, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if s.cfg.MaxNodes > 0 && newG.N() > s.cfg.MaxNodes {
+		return GraphInfo{}, fmt.Errorf("%w: mutation grows graph to %d nodes, cap is %d",
+			ErrInvalid, newG.N(), s.cfg.MaxNodes)
+	}
+	if s.cfg.MaxEdges > 0 && newG.M() > s.cfg.MaxEdges {
+		return GraphInfo{}, fmt.Errorf("%w: mutation grows graph to %d edges, cap is %d",
+			ErrInvalid, newG.M(), s.cfg.MaxEdges)
+	}
+
+	// Durability before visibility: the batch is in the WAL (under the
+	// configured fsync policy) before any solve can observe its effects.
+	seq := e.info.Version + 1
+	snapDue := false
+	if s.st != nil {
+		snapDue, err = s.st.Append(id, seq, muts)
+		if err != nil {
+			if errors.Is(err, store.ErrReadOnly) || s.st.ReadOnly() {
+				return GraphInfo{}, storageUnavailable()
+			}
+			return GraphInfo{}, fmt.Errorf("%w: %v", ErrInvalid, err)
+		}
+	}
+
+	ne := &entry{
+		g:    newG,
+		prep: e.prep.Rescore(newG, touched),
+		pool: solver.NewWorkspacePool(newG),
+		info: e.info,
+	}
+	ne.info.Version = seq
+	ne.info.Nodes = newG.N()
+	ne.info.Edges = newG.M()
+	ne.info.AvgDegree = newG.AvgDegree()
+	ne.info.ResidentBytes = newG.ResidentBytes()
+	if e.regions != nil {
+		// Surgical region invalidation: a cached (start, radius) ball can
+		// only have changed if some edited node lies within radius hops of
+		// start — on the old graph (the ball as cached) or the new one (the
+		// ball as it should now be). One multi-source BFS from the touched
+		// nodes per graph answers every key's distance check.
+		maxR := e.regions.MaxRadius()
+		distOld := e.g.HopDistances(touched, maxR)
+		distNew := newG.HopDistances(touched, maxR)
+		ne.regions = e.regions.CloneFor(newG, func(start graph.NodeID, radius int) bool {
+			if d, ok := distOld[start]; ok && d <= radius {
+				return false
+			}
+			if d, ok := distNew[start]; ok && d <= radius {
+				return false
+			}
+			return true
+		})
+	}
+
+	s.mu.Lock()
+	// The workspace pool is rebuilt rather than carried, so fold the old
+	// one's counters into the retired totals; the region cache's counters
+	// moved into the clone above.
+	s.retired.addPool(e)
+	s.graphs[id] = ne
+	s.mu.Unlock()
+	s.mutations.Add(1)
+
+	if snapDue && s.st != nil {
+		// The WAL reached the snapshot cadence: fold it into a fresh
+		// snapshot so recovery stays O(recent mutations). A failure here
+		// degrades the store (future writes are refused) but the mutation
+		// itself is already durable — report success.
+		_ = s.st.Snapshot(id, newG, seq)
+	}
+	return ne.info, nil
+}
+
+// Recover replays the durable layer and registers every recovered graph
+// for serving, with freshly built rankings and caches. Call once at boot,
+// before the transport starts. Returns the recovered graph descriptions,
+// sorted by id. A memory-only service recovers nothing.
+func (s *Service) Recover() ([]GraphInfo, error) {
+	if s.st == nil {
+		return nil, nil
+	}
+	recs, err := s.st.Recover()
+	if err != nil {
+		return nil, err
+	}
+	s.mutMu.Lock()
+	defer s.mutMu.Unlock()
+	out := make([]GraphInfo, 0, len(recs))
+	for _, r := range recs {
+		e := s.newEntry(r.Graph, GraphInfo{
+			ID:        r.ID,
+			Source:    "recovered",
+			CreatedAt: time.Now().UTC(),
+			Version:   r.Version,
+		})
+		s.mu.Lock()
+		s.graphs[r.ID] = e
+		s.mu.Unlock()
+		out = append(out, e.info)
+	}
+	return out, nil
 }
 
 // entryFor returns the resident entry for graphID.

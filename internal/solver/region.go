@@ -182,14 +182,15 @@ type RegionCache struct {
 	max      int
 	maxBytes int64
 
-	mu        sync.Mutex // guards the index; never held during extraction
-	lru       *list.List // front = most recently used, of *regionEntry
-	byKey     map[regionKey]*list.Element
-	bytes     int64
-	hits      uint64
-	misses    uint64
-	negHits   uint64 // hits whose entry is a cached negative (r == nil)
-	evictions uint64 // entries dropped by the LRU/byte bounds
+	mu          sync.Mutex // guards the index; never held during extraction
+	lru         *list.List // front = most recently used, of *regionEntry
+	byKey       map[regionKey]*list.Element
+	bytes       int64
+	hits        uint64
+	misses      uint64
+	negHits     uint64 // hits whose entry is a cached negative (r == nil)
+	evictions   uint64 // entries dropped by the LRU/byte bounds
+	invalidated uint64 // entries dropped by CloneFor because a mutation touched their ball
 
 	extractMu sync.Mutex // serializes misses over the shared builder scratch
 	rb        *graph.RegionBuilder
@@ -282,17 +283,72 @@ func (rc *RegionCache) Acquire(start graph.NodeID, radius int) *graph.Region {
 	return r
 }
 
+// MaxRadius returns the largest radius of any cached key (0 when empty) —
+// the BFS depth bound a mutating caller needs to decide which cached balls
+// a touched-node set can reach.
+func (rc *RegionCache) MaxRadius() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	maxR := 0
+	for el := rc.lru.Front(); el != nil; el = el.Next() {
+		if r := el.Value.(*regionEntry).key.radius; r > maxR {
+			maxR = r
+		}
+	}
+	return maxR
+}
+
+// CloneFor builds the successor cache for a mutated graph, retaining every
+// entry keep reports unaffected — the surgical-invalidation primitive. A
+// retained *graph.Region is shared, not copied: regions are self-contained
+// CSR snapshots, and an entry whose ≤radius ball no mutation touched is
+// identical on both graphs. Entries keep rejects, and cached negatives
+// whose auto cap changed with the node count (their "ball exceeds the cap"
+// verdict may no longer hold), are dropped and counted as invalidations.
+//
+// The old cache is left untouched and stays valid for in-flight solves
+// against the old graph — a new cache object (rather than rehosting in
+// place) is what keeps the swap race-free: regionCacheFor's pointer check
+// simply fails one side or the other, never mixing graphs. Counters carry
+// over so serving metrics stay monotone across mutations.
+func (rc *RegionCache) CloneFor(newG *graph.Graph, keep func(start graph.NodeID, radius int) bool) *RegionCache {
+	nc := &RegionCache{
+		g:        newG,
+		max:      rc.max,
+		maxBytes: rc.maxBytes,
+		lru:      list.New(),
+		byKey:    make(map[regionKey]*list.Element),
+	}
+	capChanged := autoRegionCap(newG.N()) != autoRegionCap(rc.g.N())
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	nc.hits, nc.misses, nc.negHits = rc.hits, rc.misses, rc.negHits
+	nc.evictions, nc.invalidated = rc.evictions, rc.invalidated
+	for el := rc.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*regionEntry)
+		if (e.r == nil && capChanged) || !keep(e.key.start, e.key.radius) {
+			nc.invalidated++
+			continue
+		}
+		nc.byKey[e.key] = nc.lru.PushBack(e) // front→back walk keeps LRU order
+		nc.bytes += regionBytes(e.r)
+	}
+	return nc
+}
+
 // RegionCacheStats is one consistent snapshot of cache effectiveness.
 // NegativeHits is the subset of Hits that returned a cached negative (the
 // ball exceeded the cap, so the start solves whole-graph); Evictions
-// counts entries dropped by the entry or byte bound. A same-key miss that
-// was filled by a concurrent miss while waiting for the extraction lock
-// still counts as the one miss it classified as.
+// counts entries dropped by the entry or byte bound; Invalidated counts
+// entries dropped by CloneFor because a mutation touched their ball. A
+// same-key miss that was filled by a concurrent miss while waiting for the
+// extraction lock still counts as the one miss it classified as.
 type RegionCacheStats struct {
 	Hits         uint64
 	Misses       uint64
 	NegativeHits uint64
 	Evictions    uint64
+	Invalidated  uint64
 	Entries      int
 	Bytes        int64
 }
@@ -306,6 +362,7 @@ func (rc *RegionCache) Stats() RegionCacheStats {
 		Misses:       rc.misses,
 		NegativeHits: rc.negHits,
 		Evictions:    rc.evictions,
+		Invalidated:  rc.invalidated,
 		Entries:      rc.lru.Len(),
 		Bytes:        rc.bytes,
 	}

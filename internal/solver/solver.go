@@ -162,14 +162,16 @@ func All() []Solver {
 type Prep struct {
 	g      *graph.Graph
 	ranked []graph.NodeID // node ids by NodeScore descending, id ascending
+	scores []float64      // scores[r] = NodeScore of ranked[r] (full preps only)
 	prefix []float64      // prefix[r] = sum of the r largest NodeScores
 	limit  int            // 0 = full ranking; else only the top limit nodes are valid
 }
 
-// NewPrep ranks every node of g by NodeScore. O(n log n + m). The per-node
-// score array is construction scratch only — a resident Prep retains the
-// ranking and the prefix sums of its score sequence, so topSums for any k
-// is a zero-allocation slice of precomputed storage.
+// NewPrep ranks every node of g by NodeScore. O(n log n + m). A resident
+// Prep retains the ranking, the ranked score sequence (so Rescore can
+// delta-update after a graph mutation without re-scoring every node), and
+// the prefix sums of that sequence, so topSums for any k is a
+// zero-allocation slice of precomputed storage.
 func NewPrep(g *graph.Graph) *Prep {
 	n := g.N()
 	scores := make([]float64, n)
@@ -187,11 +189,93 @@ func NewPrep(g *graph.Graph) *Prep {
 		}
 		return int(a - b) // ids are non-negative, so the difference cannot overflow
 	})
+	p.scores = make([]float64, n)
 	p.prefix = make([]float64, n+1)
 	for i, v := range p.ranked {
+		p.scores[i] = scores[v]
 		p.prefix[i+1] = p.prefix[i] + scores[v]
 	}
 	return p
+}
+
+// Rescore delta-updates a full Prep across a graph mutation: touched is
+// the mutation's touched-node set (every node whose NodeScore may have
+// changed, including appended nodes — graph.ApplyMutations returns exactly
+// this). Untouched entries keep their retained score bits and relative
+// order; touched nodes are re-scored on newG and merged back in. Because
+// (score descending, id ascending) is a strict total order and the prefix
+// sums are re-accumulated left-to-right in ranked order, the result is
+// bit-identical to NewPrep(newG) at O(n + t·deg + t log t) instead of a
+// full O(n log n + m) re-rank. Panics on a partial Prep — only resident
+// full preps are ever delta-updated.
+func (p *Prep) Rescore(newG *graph.Graph, touched []graph.NodeID) *Prep {
+	if p.limit != 0 {
+		panic("solver: Rescore on a partial Prep")
+	}
+	n2 := newG.N()
+	mark := make([]bool, n2)
+	type cand struct {
+		score float64
+		id    graph.NodeID
+	}
+	fresh := make([]cand, 0, len(touched))
+	for _, v := range touched {
+		if int(v) < 0 || int(v) >= n2 || mark[v] {
+			continue
+		}
+		mark[v] = true
+		fresh = append(fresh, cand{score: newG.NodeScore(v), id: v})
+	}
+	slices.SortFunc(fresh, func(a, b cand) int {
+		if a.score != b.score {
+			if a.score > b.score {
+				return -1
+			}
+			return 1
+		}
+		return int(a.id - b.id)
+	})
+	np := &Prep{
+		g:      newG,
+		ranked: make([]graph.NodeID, 0, n2),
+		scores: make([]float64, 0, n2),
+		prefix: make([]float64, 1, n2+1),
+	}
+	emit := func(s float64, id graph.NodeID) {
+		np.ranked = append(np.ranked, id)
+		np.scores = append(np.scores, s)
+		np.prefix = append(np.prefix, np.prefix[len(np.prefix)-1]+s)
+	}
+	// Merge the surviving old ranking (touched entries skipped) with the
+	// freshly scored nodes under the same strict total order NewPrep sorts
+	// by. Mutations never remove nodes, so every surviving old id is valid
+	// in newG.
+	i, j := 0, 0
+	for {
+		for i < len(p.ranked) && mark[p.ranked[i]] {
+			i++
+		}
+		if i >= len(p.ranked) {
+			for ; j < len(fresh); j++ {
+				emit(fresh[j].score, fresh[j].id)
+			}
+			return np
+		}
+		if j >= len(fresh) {
+			emit(p.scores[i], p.ranked[i])
+			i++
+			continue
+		}
+		os, oid := p.scores[i], p.ranked[i]
+		fs, fid := fresh[j].score, fresh[j].id
+		if fs > os || (fs == os && fid < oid) {
+			emit(fs, fid)
+			j++
+		} else {
+			emit(os, oid)
+			i++
+		}
+	}
 }
 
 // newPartialPrep ranks only the top t nodes by (NodeScore descending, id

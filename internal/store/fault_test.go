@@ -1,0 +1,270 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"waso/internal/core"
+	"waso/internal/graph"
+	"waso/internal/solver"
+)
+
+// TestPowerCutEveryOffset is the central crash-safety claim: for EVERY
+// possible power-cut point in the WAL, recovery lands on exactly the state
+// after some prefix of whole records — atomic per record, never corrupt,
+// never a panic — and a solve against the recovered graph is bit-identical
+// to a solve against the in-memory reference at that version.
+func TestPowerCutEveryOffset(t *testing.T) {
+	fs := newMemFS()
+	st := openMem(t, fs, Options{Fsync: FsyncOff, SnapshotEvery: -1})
+	const n = 8
+	g := testGraph(t, n)
+	if err := st.Create("g", g); err != nil {
+		t.Fatal(err)
+	}
+	batches := testBatches(n)
+	states := applyAll(t, g, batches)
+	dir := st.graphDir("g")
+	walPath := filepath.Join(dir, walName)
+	snapPath := filepath.Join(dir, snapName)
+	ends := []int{0} // ends[v] = WAL offset at which version v's record completes
+	for i, muts := range batches {
+		if _, err := st.Append("g", uint64(i+1), muts); err != nil {
+			t.Fatal(err)
+		}
+		ends = append(ends, len(fs.snapshotBytes(walPath)))
+	}
+	st.Close()
+	snapBytes := fs.snapshotBytes(snapPath)
+	walBytes := fs.snapshotBytes(walPath)
+
+	stateBytes := make([][]byte, len(states))
+	for v, sg := range states {
+		stateBytes[v] = encodeGraph(t, sg)
+	}
+
+	// Reference solves, one per version, against the in-memory graphs.
+	ctx := context.Background()
+	req := core.DefaultRequest(4)
+	req.Samples = 8
+	req.Seed = 7
+	wantRep := make([]core.Report, len(states))
+	for v, sg := range states {
+		rep, err := solver.CBASND{}.Solve(ctx, sg, req)
+		if err != nil {
+			t.Fatalf("reference solve v%d: %v", v, err)
+		}
+		wantRep[v] = rep
+	}
+
+	for cut := 0; cut <= len(walBytes); cut++ {
+		fs2 := newMemFS()
+		if err := fs2.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		fs2.putBytes(snapPath, snapBytes)
+		fs2.putBytes(walPath, walBytes[:cut])
+		st2, err := Open("data", Options{FS: fs2})
+		if err != nil {
+			t.Fatalf("cut %d: open: %v", cut, err)
+		}
+		recs, err := st2.Recover()
+		if err != nil {
+			t.Fatalf("cut %d: recover: %v", cut, err)
+		}
+		if len(recs) != 1 {
+			t.Fatalf("cut %d: recovered %d graphs", cut, len(recs))
+		}
+		r := recs[0]
+		wantVer := 0
+		for wantVer+1 < len(ends) && ends[wantVer+1] <= cut {
+			wantVer++
+		}
+		if r.Version != uint64(wantVer) {
+			t.Fatalf("cut %d: version %d want %d", cut, r.Version, wantVer)
+		}
+		if want := int64(cut - ends[wantVer]); r.TruncatedBytes != want {
+			t.Fatalf("cut %d: truncated %d bytes want %d", cut, r.TruncatedBytes, want)
+		}
+		if !bytes.Equal(encodeGraph(t, r.Graph), stateBytes[wantVer]) {
+			t.Fatalf("cut %d: recovered graph differs from reference state %d", cut, wantVer)
+		}
+		// The on-disk WAL must be cut back to the frame boundary so the
+		// next append starts clean.
+		if got := len(fs2.snapshotBytes(walPath)); got != ends[wantVer] {
+			t.Fatalf("cut %d: WAL left at %d bytes, want %d", cut, got, ends[wantVer])
+		}
+		// Once per distinct version (at the exact boundary), solve against
+		// the recovered graph and demand bit-identity with the reference.
+		if cut == ends[wantVer] {
+			rep, err := solver.CBASND{}.Solve(ctx, r.Graph, req)
+			if err != nil {
+				t.Fatalf("cut %d: solve: %v", cut, err)
+			}
+			want := wantRep[wantVer]
+			if rep.Best.Willingness != want.Best.Willingness ||
+				len(rep.Best.Nodes) != len(want.Best.Nodes) ||
+				rep.SamplesDrawn != want.SamplesDrawn {
+				t.Fatalf("cut %d: recovered solve %+v != reference %+v", cut, rep.Best, want.Best)
+			}
+			for i := range rep.Best.Nodes {
+				if rep.Best.Nodes[i] != want.Best.Nodes[i] {
+					t.Fatalf("cut %d: recovered solution differs at %d", cut, i)
+				}
+			}
+		}
+		st2.Close()
+	}
+}
+
+// TestShortWriteDegrades: a partial WAL append flips the store read-only;
+// reopening recovers the pre-mutation state by truncating the torn frame.
+func TestShortWriteDegrades(t *testing.T) {
+	ffs := newFaultFS()
+	st := openMem(t, ffs, Options{SnapshotEvery: -1})
+	const n = 8
+	g := testGraph(t, n)
+	if err := st.Create("g", g); err != nil {
+		t.Fatal(err)
+	}
+	m1 := []graph.Mutation{{Op: graph.MutSetInterest, U: 1, Eta: 5}}
+	g1, _, err := g.ApplyMutations(m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append("g", 1, m1); err != nil {
+		t.Fatal(err)
+	}
+	ffs.mu.Lock()
+	ffs.shortWriteOnce = 5
+	ffs.mu.Unlock()
+	m2 := []graph.Mutation{{Op: graph.MutSetInterest, U: 2, Eta: 6}}
+	if _, err := st.Append("g", 2, m2); err == nil {
+		t.Fatal("short write did not fail the append")
+	}
+	if !st.ReadOnly() {
+		t.Fatal("short write did not degrade the store")
+	}
+	if _, err := st.Append("g", 3, m2); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("append after degrade: %v", err)
+	}
+	if err := st.Create("h", g); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("create after degrade: %v", err)
+	}
+	if err := st.Snapshot("g", g1, 1); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("snapshot after degrade: %v", err)
+	}
+	st.Close()
+
+	st2 := openMem(t, ffs, Options{})
+	recs, err := st2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Version != 1 || recs[0].TruncatedBytes != 5 {
+		t.Fatalf("post-degrade recovery %+v, want version 1 with 5 torn bytes", recs[0])
+	}
+	if !bytes.Equal(encodeGraph(t, recs[0].Graph), encodeGraph(t, g1)) {
+		t.Fatal("recovered graph is not the pre-crash acknowledged state")
+	}
+}
+
+// TestFsyncErrorDegrades covers both durability policies: a failing fsync
+// must flip the store read-only whether it happens inline (always) or on
+// the group-commit timer (interval).
+func TestFsyncErrorDegrades(t *testing.T) {
+	muts := []graph.Mutation{{Op: graph.MutSetInterest, U: 0, Eta: 9}}
+
+	t.Run("always", func(t *testing.T) {
+		ffs := newFaultFS()
+		st := openMem(t, ffs, Options{Fsync: FsyncAlways})
+		if err := st.Create("g", testGraph(t, 4)); err != nil {
+			t.Fatal(err)
+		}
+		ffs.mu.Lock()
+		ffs.syncErr = errors.New("injected fsync failure")
+		ffs.mu.Unlock()
+		if _, err := st.Append("g", 1, muts); err == nil {
+			t.Fatal("failing fsync did not fail the append")
+		}
+		if !st.ReadOnly() {
+			t.Fatal("failing fsync did not degrade the store")
+		}
+	})
+
+	t.Run("interval", func(t *testing.T) {
+		ffs := newFaultFS()
+		st := openMem(t, ffs, Options{Fsync: FsyncInterval, Interval: 2 * time.Millisecond})
+		if err := st.Create("g", testGraph(t, 4)); err != nil {
+			t.Fatal(err)
+		}
+		ffs.mu.Lock()
+		ffs.syncErr = errors.New("injected fsync failure")
+		ffs.mu.Unlock()
+		if _, err := st.Append("g", 1, muts); err != nil {
+			t.Fatalf("buffered append should succeed before the flush: %v", err)
+		}
+		deadline := time.Now().Add(2 * time.Second)
+		for !st.ReadOnly() {
+			if time.Now().After(deadline) {
+				t.Fatal("background flush failure never degraded the store")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+}
+
+// TestNoSpaceDegrades: ENOSPC mid-append degrades the store; Remove (an
+// operator dropping state) is still allowed afterwards.
+func TestNoSpaceDegrades(t *testing.T) {
+	ffs := newFaultFS()
+	st := openMem(t, ffs, Options{})
+	g := testGraph(t, 8)
+	if err := st.Create("g", g); err != nil {
+		t.Fatal(err)
+	}
+	ffs.mu.Lock()
+	ffs.writeBudget = 10
+	ffs.mu.Unlock()
+	muts := []graph.Mutation{{Op: graph.MutSetInterest, U: 0, Eta: 3}}
+	_, err := st.Append("g", 1, muts)
+	if !errors.Is(err, errNoSpace) {
+		t.Fatalf("append on a full disk: %v, want ENOSPC", err)
+	}
+	if !st.ReadOnly() {
+		t.Fatal("ENOSPC did not degrade the store")
+	}
+	if _, err := st.Append("g", 2, muts); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("append after ENOSPC: %v", err)
+	}
+	if err := st.Remove("g"); err != nil {
+		t.Fatalf("remove after degrade must still work: %v", err)
+	}
+}
+
+// TestHalfCreatedDirSkipped: a crash between MkdirAll and the first
+// snapshot publish leaves a husk directory; recovery clears it and does
+// not fail the boot.
+func TestHalfCreatedDirSkipped(t *testing.T) {
+	fs := newMemFS()
+	st := openMem(t, fs, Options{})
+	if err := st.Create("keep", testGraph(t, 4)); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	if err := fs.MkdirAll(st.graphDir("husk"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	st2 := openMem(t, fs, Options{})
+	recs, err := st2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].ID != "keep" {
+		t.Fatalf("recovered %+v, want only %q", recs, "keep")
+	}
+}

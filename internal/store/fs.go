@@ -1,0 +1,97 @@
+// Package store is the durable layer under the serving stack: one
+// directory per graph holding a binary-codec snapshot plus an append-only,
+// CRC32C-framed mutation log (WAL), replayed on boot to rebuild
+// byte-identical graph state.
+//
+// Layering: store sits beside service — it depends only on graph (for the
+// snapshot codec and the Mutation vocabulary) and knows nothing about
+// solvers, caches or transports. The service owns the mapping from graph
+// ids to solver state; the store owns the mapping from graph ids to bytes
+// on disk and their crash-consistency rules:
+//
+//   - A mutation batch is one WAL record, framed as
+//     [len u32][crc32c u32][payload]; recovery applies a record entirely
+//     or not at all, so batches are atomic across crashes.
+//   - A torn tail (the file ends mid-record) is silently truncated — the
+//     expected signature of a power cut. A corrupt record with intact data
+//     after it is a *CorruptLogError — never silently skipped, because it
+//     means the log's history is a lie, not that a write was interrupted.
+//   - Snapshots are written to a temp file, synced, and atomically renamed
+//     over the old one; the WAL is truncated afterwards. Replay skips
+//     records the snapshot already covers, so a crash anywhere in that
+//     sequence recovers correctly.
+//
+// Every filesystem touch goes through the FS interface so tests can
+// inject short writes, fsync failures, ENOSPC and power cuts at arbitrary
+// byte offsets. Any write-path failure flips the store into read-only
+// mode: resident graphs keep serving solves, mutations and uploads are
+// refused (ErrReadOnly), and the serving layer surfaces the degrade as
+// 503 + Retry-After through its admission path.
+package store
+
+import (
+	"io"
+	"os"
+)
+
+// File is the subset of *os.File the store writes through. Injected fakes
+// simulate short writes, failing syncs and full disks.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file's data to stable storage (fsync).
+	Sync() error
+	// Truncate cuts the file to size bytes — how recovery drops a torn tail.
+	Truncate(size int64) error
+	// Seek positions the next read/write.
+	Seek(offset int64, whence int) (int64, error)
+}
+
+// FS is the filesystem the store operates on. The zero-dependency
+// production implementation is OSFS; tests inject fault-carrying fakes.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	RemoveAll(path string) error
+	MkdirAll(path string, perm os.FileMode) error
+	ReadDir(name string) ([]os.DirEntry, error)
+	Stat(name string) (os.FileInfo, error)
+	// SyncDir fsyncs a directory so renames and creates within it are
+	// durable. Implementations on filesystems without directory handles
+	// may no-op.
+	SyncDir(name string) error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+func (OSFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OSFS) RemoveAll(path string) error { return os.RemoveAll(path) }
+
+func (OSFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (OSFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+
+func (OSFS) Stat(name string) (os.FileInfo, error) { return os.Stat(name) }
+
+func (OSFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,309 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// memFS is an in-memory FS for crash and fault simulation: tests snapshot
+// its raw bytes, truncate files at arbitrary offsets (power cuts), and
+// corrupt them in place. Single-process semantics only — exactly what the
+// store needs.
+type memFS struct {
+	mu    sync.Mutex
+	nodes map[string]*memNode
+}
+
+type memNode struct {
+	dir  bool
+	data []byte
+}
+
+func newMemFS() *memFS {
+	return &memFS{nodes: map[string]*memNode{".": {dir: true}}}
+}
+
+func memPath(name string) string { return filepath.Clean(name) }
+
+// snapshotBytes returns a copy of one file's current contents.
+func (m *memFS) snapshotBytes(name string) []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := m.nodes[memPath(name)]
+	if n == nil {
+		return nil
+	}
+	return append([]byte(nil), n.data...)
+}
+
+// putBytes installs file contents directly (building crash images).
+func (m *memFS) putBytes(name string, data []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nodes[memPath(name)] = &memNode{data: append([]byte(nil), data...)}
+}
+
+// corrupt flips one byte of a file in place.
+func (m *memFS) corrupt(name string, off int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nodes[memPath(name)].data[off] ^= 0xFF
+}
+
+func (m *memFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	name = memPath(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := m.nodes[name]
+	if n == nil {
+		if flag&os.O_CREATE == 0 {
+			return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+		}
+		n = &memNode{}
+		m.nodes[name] = n
+	} else if n.dir {
+		return nil, &os.PathError{Op: "open", Path: name, Err: fmt.Errorf("is a directory")}
+	} else if flag&os.O_TRUNC != 0 {
+		n.data = nil
+	}
+	return &memFile{fs: m, node: n}, nil
+}
+
+func (m *memFS) Rename(oldpath, newpath string) error {
+	oldpath, newpath = memPath(oldpath), memPath(newpath)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := m.nodes[oldpath]
+	if n == nil {
+		return &os.PathError{Op: "rename", Path: oldpath, Err: os.ErrNotExist}
+	}
+	m.nodes[newpath] = n
+	delete(m.nodes, oldpath)
+	return nil
+}
+
+func (m *memFS) RemoveAll(path string) error {
+	path = memPath(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name := range m.nodes {
+		if name == path || strings.HasPrefix(name, path+string(filepath.Separator)) {
+			delete(m.nodes, name)
+		}
+	}
+	return nil
+}
+
+func (m *memFS) MkdirAll(path string, perm os.FileMode) error {
+	path = memPath(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for p := path; ; p = filepath.Dir(p) {
+		if n := m.nodes[p]; n == nil {
+			m.nodes[p] = &memNode{dir: true}
+		} else if !n.dir {
+			return &os.PathError{Op: "mkdir", Path: p, Err: fmt.Errorf("not a directory")}
+		}
+		if p == filepath.Dir(p) || p == "." {
+			return nil
+		}
+	}
+}
+
+func (m *memFS) ReadDir(name string) ([]os.DirEntry, error) {
+	name = memPath(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	parent := m.nodes[name]
+	if parent == nil || !parent.dir {
+		return nil, &os.PathError{Op: "readdir", Path: name, Err: os.ErrNotExist}
+	}
+	var out []os.DirEntry
+	for p, n := range m.nodes {
+		if p != name && filepath.Dir(p) == name {
+			out = append(out, memDirEntry{name: filepath.Base(p), node: n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out, nil
+}
+
+func (m *memFS) Stat(name string) (os.FileInfo, error) {
+	name = memPath(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := m.nodes[name]
+	if n == nil {
+		return nil, &os.PathError{Op: "stat", Path: name, Err: os.ErrNotExist}
+	}
+	return memFileInfo{name: filepath.Base(name), node: n}, nil
+}
+
+func (m *memFS) SyncDir(name string) error { return nil }
+
+// memFile is one open handle with its own offset.
+type memFile struct {
+	fs   *memFS
+	node *memNode
+	off  int64
+}
+
+func (f *memFile) Read(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.off >= int64(len(f.node.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.node.data[f.off:])
+	f.off += int64(n)
+	return n, nil
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	end := f.off + int64(len(p))
+	for int64(len(f.node.data)) < end {
+		f.node.data = append(f.node.data, 0)
+	}
+	copy(f.node.data[f.off:end], p)
+	f.off = end
+	return len(p), nil
+}
+
+func (f *memFile) Close() error { return nil }
+
+func (f *memFile) Sync() error { return nil }
+
+func (f *memFile) Truncate(size int64) error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if size <= int64(len(f.node.data)) {
+		f.node.data = f.node.data[:size]
+	}
+	return nil
+}
+
+func (f *memFile) Seek(offset int64, whence int) (int64, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	switch whence {
+	case io.SeekStart:
+		f.off = offset
+	case io.SeekCurrent:
+		f.off += offset
+	case io.SeekEnd:
+		f.off = int64(len(f.node.data)) + offset
+	}
+	return f.off, nil
+}
+
+type memDirEntry struct {
+	name string
+	node *memNode
+}
+
+func (e memDirEntry) Name() string { return e.name }
+func (e memDirEntry) IsDir() bool  { return e.node.dir }
+func (e memDirEntry) Type() fs.FileMode {
+	if e.node.dir {
+		return fs.ModeDir
+	}
+	return 0
+}
+func (e memDirEntry) Info() (fs.FileInfo, error) {
+	return memFileInfo{name: e.name, node: e.node}, nil
+}
+
+type memFileInfo struct {
+	name string
+	node *memNode
+}
+
+func (i memFileInfo) Name() string { return i.name }
+func (i memFileInfo) Size() int64  { return int64(len(i.node.data)) }
+func (i memFileInfo) Mode() fs.FileMode {
+	if i.node.dir {
+		return fs.ModeDir | 0o755
+	}
+	return 0o644
+}
+func (i memFileInfo) ModTime() time.Time { return time.Time{} }
+func (i memFileInfo) IsDir() bool        { return i.node.dir }
+func (i memFileInfo) Sys() any           { return nil }
+
+// faultFS wraps an FS with injectable failures: a byte budget after which
+// writes fail with ENOSPC, one-shot short writes, and failing fsyncs.
+type faultFS struct {
+	inner *memFS
+
+	mu             sync.Mutex
+	writeBudget    int64 // bytes writable before ENOSPC; < 0 = unlimited
+	shortWriteOnce int   // on the next write, accept only this many bytes (then reset); < 0 = off
+	syncErr        error // returned by every File.Sync
+}
+
+func newFaultFS() *faultFS {
+	return &faultFS{inner: newMemFS(), writeBudget: -1, shortWriteOnce: -1}
+}
+
+func (f *faultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *faultFS) Rename(o, n string) error                { return f.inner.Rename(o, n) }
+func (f *faultFS) RemoveAll(p string) error                { return f.inner.RemoveAll(p) }
+func (f *faultFS) MkdirAll(p string, m os.FileMode) error  { return f.inner.MkdirAll(p, m) }
+func (f *faultFS) ReadDir(n string) ([]os.DirEntry, error) { return f.inner.ReadDir(n) }
+func (f *faultFS) Stat(n string) (os.FileInfo, error)      { return f.inner.Stat(n) }
+func (f *faultFS) SyncDir(n string) error                  { return nil }
+
+type faultFile struct {
+	File
+	fs *faultFS
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	if n := f.fs.shortWriteOnce; n >= 0 && n < len(p) {
+		f.fs.shortWriteOnce = -1
+		f.fs.mu.Unlock()
+		wrote, _ := f.File.Write(p[:n])
+		return wrote, io.ErrShortWrite
+	}
+	if f.fs.writeBudget >= 0 {
+		if f.fs.writeBudget < int64(len(p)) {
+			n := f.fs.writeBudget
+			f.fs.writeBudget = 0
+			f.fs.mu.Unlock()
+			wrote, _ := f.File.Write(p[:n])
+			return wrote, fmt.Errorf("write: %w", errNoSpace)
+		}
+		f.fs.writeBudget -= int64(len(p))
+	}
+	f.fs.mu.Unlock()
+	return f.File.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	f.fs.mu.Lock()
+	err := f.fs.syncErr
+	f.fs.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.File.Sync()
+}
+
+var errNoSpace = fmt.Errorf("no space left on device")

@@ -1,0 +1,195 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"waso/internal/graph"
+)
+
+// WAL record codec. One record carries one mutation batch:
+//
+//	frame   [len u32][crc u32][payload]        (little-endian throughout)
+//	payload [version u8][seq u64][nops u32][op × nops]
+//	op      [opcode u8][u i32][v i32][a f64][b f64]
+//
+// len counts payload bytes only; crc is CRC-32C (Castagnoli) over the
+// payload. seq is the graph's monotone version after applying the batch —
+// recovery checks contiguity, so a dropped record can never be skipped
+// silently. Per opcode, a/b carry (Eta, 0), (TauOut, TauIn), (0, 0) or
+// (TauOut, TauIn); unused fields must be zero on the wire, which makes
+// every accepted record canonical: decode∘encode is the identity on bytes
+// (the FuzzWALRecord guarantee).
+
+const (
+	recVersion  = 1
+	frameHeader = 8              // len u32 + crc u32
+	recFixed    = 1 + 8 + 4      // version + seq + nops
+	opSize      = 1 + 4 + 4 + 16 // opcode + u + v + a + b
+
+	// MaxRecordOps bounds the per-record batch size so a hostile length
+	// field cannot force a giant allocation during replay.
+	MaxRecordOps = 1 << 20
+
+	maxPayload = recFixed + MaxRecordOps*opSize
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Decode-failure sentinels. errTruncated means the buffer ends before the
+// frame does — a torn tail when it happens at EOF. errBadCRC means the
+// frame's bytes are all present but the checksum disagrees. Everything
+// else (structure errors after a passing CRC) is unconditionally corrupt.
+var (
+	errTruncated = errors.New("store: truncated record frame")
+	errBadCRC    = errors.New("store: record checksum mismatch")
+)
+
+// CorruptLogError reports a WAL whose history cannot be trusted: a record
+// that is provably corrupt rather than torn (bad checksum with intact data
+// after it, a structurally invalid payload behind a passing checksum, or a
+// sequence gap). Recovery fails loudly on it — truncating here would
+// silently drop acknowledged mutations.
+type CorruptLogError struct {
+	Path   string // the WAL file
+	Offset int64  // byte offset of the offending frame
+	Err    error  // what was wrong with it
+}
+
+func (e *CorruptLogError) Error() string {
+	return fmt.Sprintf("store: corrupt log %s at offset %d: %v", e.Path, e.Offset, e.Err)
+}
+
+func (e *CorruptLogError) Unwrap() error { return e.Err }
+
+// opcodes on the wire; identical numbering to graph.MutOpKind.
+const (
+	opSetInterest = byte(graph.MutSetInterest)
+	opAddEdge     = byte(graph.MutAddEdge)
+	opDelEdge     = byte(graph.MutDelEdge)
+	opSetTau      = byte(graph.MutSetTau)
+)
+
+// EncodeRecord appends the framed record for (seq, muts) to buf and
+// returns the extended slice. Batches beyond MaxRecordOps are refused —
+// they could never be replayed.
+func EncodeRecord(buf []byte, seq uint64, muts []graph.Mutation) ([]byte, error) {
+	if len(muts) == 0 {
+		return nil, fmt.Errorf("store: empty mutation batch")
+	}
+	if len(muts) > MaxRecordOps {
+		return nil, fmt.Errorf("store: batch of %d ops exceeds record limit %d", len(muts), MaxRecordOps)
+	}
+	payloadLen := recFixed + len(muts)*opSize
+	base := len(buf)
+	buf = append(buf, make([]byte, frameHeader+payloadLen)...)
+	payload := buf[base+frameHeader:]
+	payload[0] = recVersion
+	binary.LittleEndian.PutUint64(payload[1:], seq)
+	binary.LittleEndian.PutUint32(payload[9:], uint32(len(muts)))
+	p := recFixed
+	for i, m := range muts {
+		var a, b float64
+		switch m.Op {
+		case graph.MutSetInterest:
+			if m.V != 0 || m.TauOut != 0 || m.TauIn != 0 {
+				return nil, fmt.Errorf("store: op %d: set_interest with edge fields", i)
+			}
+			a = m.Eta
+		case graph.MutAddEdge, graph.MutSetTau:
+			if m.Eta != 0 {
+				return nil, fmt.Errorf("store: op %d: %s with eta", i, m.Op)
+			}
+			a, b = m.TauOut, m.TauIn
+		case graph.MutDelEdge:
+			if m.Eta != 0 || m.TauOut != 0 || m.TauIn != 0 {
+				return nil, fmt.Errorf("store: op %d: del_edge with value fields", i)
+			}
+		default:
+			return nil, fmt.Errorf("store: op %d: unknown opcode %d", i, m.Op)
+		}
+		payload[p] = byte(m.Op)
+		binary.LittleEndian.PutUint32(payload[p+1:], uint32(m.U))
+		binary.LittleEndian.PutUint32(payload[p+5:], uint32(m.V))
+		binary.LittleEndian.PutUint64(payload[p+9:], math.Float64bits(a))
+		binary.LittleEndian.PutUint64(payload[p+17:], math.Float64bits(b))
+		p += opSize
+	}
+	binary.LittleEndian.PutUint32(buf[base:], uint32(payloadLen))
+	binary.LittleEndian.PutUint32(buf[base+4:], crc32.Checksum(payload, crcTable))
+	return buf, nil
+}
+
+// DecodeRecord parses the record framed at the start of b. It returns the
+// record's seq, its mutation batch, and the total frame length consumed.
+// Failures classify precisely so replay can tell a power cut from rot:
+// errTruncated (frame runs past the buffer), errBadCRC (frame complete,
+// checksum wrong; frameLen is still returned so the caller can test
+// whether the frame reaches EOF), or a descriptive structural error behind
+// a passing checksum. It never panics on hostile input and never
+// allocates more than the frame's own declared (bounded) size.
+func DecodeRecord(b []byte) (seq uint64, muts []graph.Mutation, frameLen int, err error) {
+	if len(b) < frameHeader {
+		return 0, nil, 0, errTruncated
+	}
+	payloadLen := int(binary.LittleEndian.Uint32(b))
+	if payloadLen > maxPayload {
+		return 0, nil, 0, fmt.Errorf("store: record payload %d exceeds limit %d", payloadLen, maxPayload)
+	}
+	frameLen = frameHeader + payloadLen
+	if payloadLen < recFixed || (payloadLen-recFixed)%opSize != 0 {
+		// Structurally impossible length. If the buffer can't even hold it,
+		// prefer the truncation classification — a torn length field looks
+		// like this too.
+		if frameLen > len(b) {
+			return 0, nil, 0, errTruncated
+		}
+		return 0, nil, frameLen, fmt.Errorf("store: record payload length %d is not a whole batch", payloadLen)
+	}
+	if frameLen > len(b) {
+		return 0, nil, frameLen, errTruncated
+	}
+	payload := b[frameHeader:frameLen]
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(b[4:]) {
+		return 0, nil, frameLen, errBadCRC
+	}
+	if payload[0] != recVersion {
+		return 0, nil, frameLen, fmt.Errorf("store: unsupported record version %d", payload[0])
+	}
+	seq = binary.LittleEndian.Uint64(payload[1:])
+	nops := int(binary.LittleEndian.Uint32(payload[9:]))
+	if nops == 0 || nops > MaxRecordOps || recFixed+nops*opSize != payloadLen {
+		return 0, nil, frameLen, fmt.Errorf("store: op count %d inconsistent with payload length %d", nops, payloadLen)
+	}
+	muts = make([]graph.Mutation, nops)
+	p := recFixed
+	for i := range muts {
+		op := payload[p]
+		u := graph.NodeID(int32(binary.LittleEndian.Uint32(payload[p+1:])))
+		v := graph.NodeID(int32(binary.LittleEndian.Uint32(payload[p+5:])))
+		a := math.Float64frombits(binary.LittleEndian.Uint64(payload[p+9:]))
+		b := math.Float64frombits(binary.LittleEndian.Uint64(payload[p+17:]))
+		m := graph.Mutation{Op: graph.MutOpKind(op), U: u, V: v}
+		switch op {
+		case opSetInterest:
+			if v != 0 || b != 0 || math.Signbit(b) {
+				return 0, nil, frameLen, fmt.Errorf("store: op %d: non-canonical set_interest", i)
+			}
+			m.Eta = a
+		case opAddEdge, opSetTau:
+			m.TauOut, m.TauIn = a, b
+		case opDelEdge:
+			if a != 0 || b != 0 || math.Signbit(a) || math.Signbit(b) {
+				return 0, nil, frameLen, fmt.Errorf("store: op %d: non-canonical del_edge", i)
+			}
+		default:
+			return 0, nil, frameLen, fmt.Errorf("store: op %d: unknown opcode %d", i, op)
+		}
+		muts[i] = m
+		p += opSize
+	}
+	return seq, muts, frameLen, nil
+}

@@ -1,0 +1,408 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"waso/internal/graph"
+)
+
+// testGraph builds a small path graph with distinct interests.
+func testGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.SetInterest(graph.NodeID(i), float64(i)+0.5)
+	}
+	for i := 0; i < n-1; i++ {
+		b.AddEdgeSym(graph.NodeID(i), graph.NodeID(i+1), 1+float64(i)/8)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func encodeGraph(t *testing.T, g *graph.Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := graph.Encode(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// testBatches is a deterministic sequence of mutation batches for a path
+// graph of ≥ 8 nodes, exercising all four opcodes plus a node append.
+func testBatches(n int) [][]graph.Mutation {
+	return [][]graph.Mutation{
+		{{Op: graph.MutSetInterest, U: 2, Eta: 42.5}},
+		{{Op: graph.MutSetTau, U: 0, V: 1, TauOut: 3, TauIn: 0.25}},
+		{
+			{Op: graph.MutDelEdge, U: 3, V: 4},
+			{Op: graph.MutAddEdge, U: 3, V: 5, TauOut: 2, TauIn: 2},
+		},
+		{
+			{Op: graph.MutSetInterest, U: graph.NodeID(n), Eta: 7},
+			{Op: graph.MutAddEdge, U: graph.NodeID(n), V: 0, TauOut: 1.5, TauIn: 0.5},
+		},
+		{{Op: graph.MutSetTau, U: 3, V: 5, TauOut: 9, TauIn: 9}},
+	}
+}
+
+// applyAll replays batches in memory, returning the state after each
+// batch (states[0] is the base graph).
+func applyAll(t *testing.T, g *graph.Graph, batches [][]graph.Mutation) []*graph.Graph {
+	t.Helper()
+	states := []*graph.Graph{g}
+	for i, muts := range batches {
+		g2, _, err := g.ApplyMutations(muts)
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		states = append(states, g2)
+		g = g2
+	}
+	return states
+}
+
+// openMem opens a store over a memFS.
+func openMem(t *testing.T, fs FS, opts Options) *Store {
+	t.Helper()
+	opts.FS = fs
+	st, err := Open("data", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// TestCreateAppendRecover is the basic durability loop: create, append,
+// reopen, recover byte-identical state at the right version.
+func TestCreateAppendRecover(t *testing.T) {
+	fs := newMemFS()
+	st := openMem(t, fs, Options{Fsync: FsyncAlways, SnapshotEvery: -1})
+	const n = 8
+	g := testGraph(t, n)
+	if err := st.Create("alpha", g); err != nil {
+		t.Fatal(err)
+	}
+	batches := testBatches(n)
+	states := applyAll(t, g, batches)
+	for i, muts := range batches {
+		if _, err := st.Append("alpha", uint64(i+1), muts); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if got := st.Stats(); got.Appends != uint64(len(batches)) || got.Fsyncs != uint64(len(batches)) {
+		t.Fatalf("stats after appends: %+v", got)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openMem(t, fs, Options{})
+	recs, err := st2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].ID != "alpha" {
+		t.Fatalf("recovered %+v", recs)
+	}
+	r := recs[0]
+	if r.Version != uint64(len(batches)) || r.Records != len(batches) || r.TruncatedBytes != 0 {
+		t.Fatalf("recovered meta %+v", r)
+	}
+	if !bytes.Equal(encodeGraph(t, r.Graph), encodeGraph(t, states[len(states)-1])) {
+		t.Fatal("recovered graph not byte-identical to in-memory reference")
+	}
+	if got := st2.Stats(); got.RecoveredGraphs != 1 || got.RecoveredRecords != uint64(len(batches)) {
+		t.Fatalf("recovery stats %+v", got)
+	}
+	// Appends continue where the log left off.
+	g2, _, err := r.Graph.ApplyMutations([]graph.Mutation{{Op: graph.MutSetInterest, U: 1, Eta: -3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.Append("alpha", r.Version+1, []graph.Mutation{{Op: graph.MutSetInterest, U: 1, Eta: -3}}); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+	st3 := openMem(t, fs, Options{})
+	recs, err = st3.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeGraph(t, recs[0].Graph), encodeGraph(t, g2)) {
+		t.Fatal("post-reopen append lost")
+	}
+}
+
+// TestSnapshotTruncatesWAL: a snapshot resets the log, and recovery works
+// from snapshot + suffix. Also covers the crash window between snapshot
+// rename and WAL truncate: superseded records must replay as no-ops.
+func TestSnapshotTruncatesWAL(t *testing.T) {
+	fs := newMemFS()
+	st := openMem(t, fs, Options{SnapshotEvery: 2})
+	const n = 8
+	g := testGraph(t, n)
+	if err := st.Create("g", g); err != nil {
+		t.Fatal(err)
+	}
+	batches := testBatches(n)
+	states := applyAll(t, g, batches)
+	walPath := filepath.Join(st.graphDir("g"), walName)
+
+	var preSnapWAL []byte
+	for i, muts := range batches {
+		due, err := st.Append("g", uint64(i+1), muts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (i+1)%2 == 0 != due {
+			t.Fatalf("append %d: snapDue = %v", i, due)
+		}
+		if i+1 == 4 {
+			preSnapWAL = fs.snapshotBytes(walPath) // records 3..4 (snapshot at 2 cleared 1..2)
+		}
+		if due {
+			if err := st.Snapshot("g", states[i+1], uint64(i+1)); err != nil {
+				t.Fatal(err)
+			}
+			if fs.snapshotBytes(walPath) != nil && len(fs.snapshotBytes(walPath)) != 0 {
+				t.Fatal("snapshot did not truncate the WAL")
+			}
+		}
+	}
+	// Three snapshot writes: the Create-time one plus the two cadence ones.
+	if got := st.Stats().Snapshots; got != 3 {
+		t.Fatalf("snapshots = %d want 3", got)
+	}
+	st.Close()
+
+	st2 := openMem(t, fs, Options{})
+	recs, err := st2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Version != uint64(len(batches)) || recs[0].Records != 1 {
+		t.Fatalf("recovered meta %+v (want version %d via snapshot@4 + 1 record)", recs[0], len(batches))
+	}
+	if !bytes.Equal(encodeGraph(t, recs[0].Graph), encodeGraph(t, states[len(states)-1])) {
+		t.Fatal("snapshot+suffix recovery mismatch")
+	}
+	st2.Close()
+
+	// Crash between snapshot rename and WAL truncate: the WAL still holds
+	// records 3..4 although the snapshot covers them, followed by the live
+	// record 5. Rebuild that image and recover — the superseded records
+	// must be skipped, then record 5 applied on top.
+	liveTail := fs.snapshotBytes(walPath) // record 5 only
+	fs.putBytes(walPath, append(append([]byte(nil), preSnapWAL...), liveTail...))
+	st3 := openMem(t, fs, Options{})
+	recs, err = st3.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Version != uint64(len(batches)) {
+		t.Fatalf("post-crash-window version = %d want %d", recs[0].Version, len(batches))
+	}
+	if !bytes.Equal(encodeGraph(t, recs[0].Graph), encodeGraph(t, states[len(states)-1])) {
+		t.Fatal("superseded-record replay mismatch")
+	}
+	st3.Close()
+}
+
+// TestCorruptMidLogFailsLoudly: a bit flip in a record that has intact
+// records after it must fail recovery with *CorruptLogError, never
+// silently truncate.
+func TestCorruptMidLogFailsLoudly(t *testing.T) {
+	fs := newMemFS()
+	st := openMem(t, fs, Options{SnapshotEvery: -1})
+	const n = 8
+	g := testGraph(t, n)
+	if err := st.Create("g", g); err != nil {
+		t.Fatal(err)
+	}
+	var ends []int
+	walPath := filepath.Join(st.graphDir("g"), walName)
+	for i, muts := range testBatches(n) {
+		if _, err := st.Append("g", uint64(i+1), muts); err != nil {
+			t.Fatal(err)
+		}
+		ends = append(ends, len(fs.snapshotBytes(walPath)))
+	}
+	st.Close()
+
+	// Flip a payload byte of record 2 (mid-log: records 3..5 follow).
+	fs.corrupt(walPath, ends[0]+frameHeader+2)
+	st2 := openMem(t, fs, Options{})
+	_, err := st2.Recover()
+	var cle *CorruptLogError
+	if !errors.As(err, &cle) {
+		t.Fatalf("recovery error = %v, want *CorruptLogError", err)
+	}
+	if cle.Offset != int64(ends[0]) {
+		t.Fatalf("corrupt offset = %d want %d", cle.Offset, ends[0])
+	}
+	st2.Close()
+
+	// The same flip on the FINAL record is a torn tail: recover, dropping
+	// only that record.
+	fs.corrupt(walPath, ends[0]+frameHeader+2) // restore record 2
+	fs.corrupt(walPath, ends[3]+frameHeader+2) // corrupt record 5 (last)
+	st3 := openMem(t, fs, Options{})
+	recs, err := st3.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Version != 4 || recs[0].TruncatedBytes == 0 {
+		t.Fatalf("tail-corruption recovery %+v, want version 4 with truncation", recs[0])
+	}
+	st3.Close()
+}
+
+// TestSequenceGapFailsLoudly: splicing a record out of the middle of the
+// log must be detected via seq contiguity.
+func TestSequenceGapFailsLoudly(t *testing.T) {
+	fs := newMemFS()
+	st := openMem(t, fs, Options{SnapshotEvery: -1})
+	const n = 8
+	g := testGraph(t, n)
+	if err := st.Create("g", g); err != nil {
+		t.Fatal(err)
+	}
+	var ends []int
+	walPath := filepath.Join(st.graphDir("g"), walName)
+	for i, muts := range testBatches(n) {
+		if _, err := st.Append("g", uint64(i+1), muts); err != nil {
+			t.Fatal(err)
+		}
+		ends = append(ends, len(fs.snapshotBytes(walPath)))
+	}
+	st.Close()
+
+	wal := fs.snapshotBytes(walPath)
+	spliced := append(append([]byte(nil), wal[:ends[0]]...), wal[ends[1]:]...)
+	fs.putBytes(walPath, spliced)
+	st2 := openMem(t, fs, Options{})
+	_, err := st2.Recover()
+	var cle *CorruptLogError
+	if !errors.As(err, &cle) {
+		t.Fatalf("recovery error = %v, want *CorruptLogError (sequence gap)", err)
+	}
+}
+
+// TestRemove deletes durable state; a reopened store sees nothing.
+func TestRemove(t *testing.T) {
+	fs := newMemFS()
+	st := openMem(t, fs, Options{})
+	g := testGraph(t, 4)
+	if err := st.Create("gone", g); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Remove("gone"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append("gone", 1, []graph.Mutation{{Op: graph.MutSetInterest, U: 0, Eta: 1}}); err == nil {
+		t.Fatal("append to removed graph succeeded")
+	}
+	st.Close()
+	st2 := openMem(t, fs, Options{})
+	recs, err := st2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("removed graph recovered: %+v", recs)
+	}
+}
+
+// TestCreateDuplicate: double-create is refused without degrading.
+func TestCreateDuplicate(t *testing.T) {
+	st := openMem(t, newMemFS(), Options{})
+	g := testGraph(t, 4)
+	if err := st.Create("dup", g); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Create("dup", g); err == nil {
+		t.Fatal("duplicate create succeeded")
+	}
+	if st.ReadOnly() {
+		t.Fatal("duplicate create degraded the store")
+	}
+}
+
+// TestIntervalFsync: group-commit mode syncs dirty WALs on the timer, not
+// inline.
+func TestIntervalFsync(t *testing.T) {
+	fs := newMemFS()
+	st := openMem(t, fs, Options{Fsync: FsyncInterval, Interval: 5 * time.Millisecond})
+	g := testGraph(t, 4)
+	if err := st.Create("g", g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append("g", 1, []graph.Mutation{{Op: graph.MutSetInterest, U: 0, Eta: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for st.Stats().Fsyncs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background flusher never synced the dirty WAL")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRecordRoundTrip pins the record codec against hand-checked values.
+func TestRecordRoundTrip(t *testing.T) {
+	muts := []graph.Mutation{
+		{Op: graph.MutSetInterest, U: 3, Eta: 1.5},
+		{Op: graph.MutAddEdge, U: 0, V: 7, TauOut: 0.25, TauIn: math.Inf(1)},
+		{Op: graph.MutDelEdge, U: 2, V: 9},
+		{Op: graph.MutSetTau, U: 1, V: 2, TauOut: -0.5, TauIn: 0},
+	}
+	frame, err := EncodeRecord(nil, 17, muts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame) != frameHeader+recFixed+len(muts)*opSize {
+		t.Fatalf("frame length %d", len(frame))
+	}
+	seq, got, n, err := DecodeRecord(frame)
+	if err != nil || seq != 17 || n != len(frame) {
+		t.Fatalf("decode: seq=%d n=%d err=%v", seq, n, err)
+	}
+	for i := range muts {
+		if got[i] != muts[i] {
+			t.Fatalf("op %d: %+v != %+v", i, got[i], muts[i])
+		}
+	}
+	// Torn: every strict prefix fails with errTruncated (or reports the
+	// frame reaches past the buffer for CRC purposes).
+	for l := 0; l < len(frame); l++ {
+		_, _, _, err := DecodeRecord(frame[:l])
+		if !errors.Is(err, errTruncated) {
+			t.Fatalf("prefix %d: err = %v, want truncated", l, err)
+		}
+	}
+	// Corrupt: a payload flip fails the checksum.
+	bad := append([]byte(nil), frame...)
+	bad[frameHeader+3] ^= 1
+	if _, _, _, err := DecodeRecord(bad); !errors.Is(err, errBadCRC) {
+		t.Fatalf("corrupt frame err = %v, want bad CRC", err)
+	}
+	// Non-canonical ops are refused at encode time.
+	if _, err := EncodeRecord(nil, 1, []graph.Mutation{{Op: graph.MutDelEdge, U: 0, V: 1, Eta: 3}}); err == nil {
+		t.Fatal("del_edge with eta encoded")
+	}
+	if _, err := EncodeRecord(nil, 1, nil); err == nil {
+		t.Fatal("empty batch encoded")
+	}
+}
