@@ -32,7 +32,7 @@ import (
 
 	"waso/internal/core"
 	"waso/internal/gen"
-	"waso/internal/graph"
+	"waso/internal/objective"
 	"waso/internal/service"
 	"waso/internal/solver"
 	"waso/internal/stats"
@@ -48,23 +48,25 @@ func main() {
 }
 
 type config struct {
-	genKind string
-	n       int
-	avgDeg  float64
-	k       int
-	algos   string
-	seeds   int
-	seed    uint64
-	samples int
-	starts  int
-	workers int
-	alpha   float64
-	sampler string
-	regions string
-	noPrune bool
-	csv     bool
-	verbose bool
-	batch   string
+	genKind   string
+	n         int
+	avgDeg    float64
+	k         int
+	algos     string
+	seeds     int
+	seed      uint64
+	samples   int
+	starts    int
+	workers   int
+	alpha     float64
+	sampler   string
+	regions   string
+	objective string
+	noPrune   bool
+	csv       bool
+	verbose   bool
+	batch     string
+	list      bool
 }
 
 func run(ctx context.Context, args []string, out io.Writer) error {
@@ -83,15 +85,22 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fs.Float64Var(&cfg.alpha, "alpha", core.DefaultAlpha, "CBASND adapted-probability exponent")
 	fs.StringVar(&cfg.sampler, "sampler", string(core.SamplerAuto), "CBASND weighted sampler: auto, linear or fenwick")
 	fs.StringVar(&cfg.regions, "regions", string(core.RegionAuto), "per-start (k−1)-hop search regions: auto, off or always (results-neutral)")
+	fs.StringVar(&cfg.objective, "objective", core.DefaultObjective, "scoring objective ("+strings.Join(objective.Names(), ",")+")")
 	fs.BoolVar(&cfg.noPrune, "noprune", false, "disable the CBAS/CBASND pruning bound")
 	fs.BoolVar(&cfg.csv, "csv", false, "emit CSV instead of an aligned table")
 	fs.BoolVar(&cfg.verbose, "v", false, "print per-seed solutions")
 	fs.StringVar(&cfg.batch, "batch", "", "path to a JSON file of batch items ({algo, request} pairs) to run against one generated instance")
+	fs.BoolVar(&cfg.list, "list", false, "print the registered solvers and objectives, then exit")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return nil
 		}
 		return err
+	}
+	if cfg.list {
+		fmt.Fprintf(out, "solvers:    %s\n", strings.Join(solver.Names(), ", "))
+		fmt.Fprintf(out, "objectives: %s\n", strings.Join(objective.Names(), ", "))
+		return nil
 	}
 	if cfg.batch != "" {
 		return runBatch(ctx, cfg, out)
@@ -103,9 +112,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	req.Alpha = cfg.alpha
 	req.Sampler = core.Sampler(cfg.sampler)
 	req.Region = core.RegionMode(cfg.regions)
+	req.Objective = cfg.objective
 	req.Prune = !cfg.noPrune
 	req.Workers = cfg.workers
 	if err := req.Validate(); err != nil {
+		return err
+	}
+	obj, err := objective.New(cfg.objective)
+	if err != nil {
 		return err
 	}
 	if cfg.seeds < 1 {
@@ -135,6 +149,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		if cfg.verbose {
 			fmt.Fprintf(out, "# seed %d: n=%d m=%d avgdeg=%.2f\n", instanceSeed, g.N(), g.M(), g.AvgDegree())
 		}
+		b := objective.Bind(obj, g)
 		for _, s := range solvers {
 			r := req
 			r.Seed = instanceSeed
@@ -142,7 +157,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			if err != nil {
 				return fmt.Errorf("%s on seed %d: %w", s.Name(), instanceSeed, err)
 			}
-			if err := check(g, cfg.k, rep); err != nil {
+			if err := check(b, cfg.k, rep); err != nil {
 				return fmt.Errorf("%s on seed %d: %w", s.Name(), instanceSeed, err)
 			}
 			a := acc[s.Name()]
@@ -157,8 +172,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 
-	title := fmt.Sprintf("WASO %s n=%d k=%d avgdeg=%g seeds=%d samples=%d starts=%d",
-		cfg.genKind, cfg.n, cfg.k, cfg.avgDeg, cfg.seeds, cfg.samples, cfg.starts)
+	title := fmt.Sprintf("WASO %s n=%d k=%d avgdeg=%g seeds=%d samples=%d starts=%d objective=%s",
+		cfg.genKind, cfg.n, cfg.k, cfg.avgDeg, cfg.seeds, cfg.samples, cfg.starts, obj.Name())
 	t := stats.NewTable(title,
 		"algo", "meanW", "stdW", "minW", "maxW", "mean_ms", "samples", "pruned")
 	for _, s := range solvers {
@@ -225,11 +240,22 @@ func runBatch(ctx context.Context, cfg config, out io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("%s: %w", cfg.batch, err)
 	}
+	// Items choose their own objectives; bind each one once for re-checking.
+	bindings := map[string]*objective.Binding{}
 	for i, br := range reports {
 		if br.Err != nil {
 			return fmt.Errorf("items[%d] (%s): %w", i, items[i].Algo, br.Err)
 		}
-		if err := check(g, items[i].Request.K, *br.Report); err != nil {
+		obj, err := objective.New(items[i].Request.Objective)
+		if err != nil {
+			return fmt.Errorf("items[%d] (%s): %w", i, items[i].Algo, err)
+		}
+		b := bindings[obj.Name()]
+		if b == nil {
+			b = objective.Bind(obj, g)
+			bindings[obj.Name()] = b
+		}
+		if err := check(b, items[i].Request.K, *br.Report); err != nil {
 			return fmt.Errorf("items[%d] (%s): %w", i, items[i].Algo, err)
 		}
 	}
@@ -248,18 +274,19 @@ func runBatch(ctx context.Context, cfg config, out io.Writer) error {
 }
 
 // check enforces the solution invariants every solver promises: a
-// non-empty connected group of at most k nodes whose stored willingness
-// matches a from-scratch recomputation.
-func check(g *graph.Graph, k int, rep core.Report) error {
+// non-empty connected group of at most k nodes whose stored objective
+// value matches a from-scratch recomputation under the request's
+// objective.
+func check(b *objective.Binding, k int, rep core.Report) error {
 	sol := rep.Best
 	if sol.Size() == 0 || sol.Size() > k {
 		return fmt.Errorf("solution size %d outside (0, %d]", sol.Size(), k)
 	}
-	if !g.Connected(sol.Nodes) {
+	if !b.Graph().Connected(sol.Nodes) {
 		return fmt.Errorf("solution %v is not connected", sol.Nodes)
 	}
-	if w := g.Willingness(sol.Nodes); !closeEnough(w, sol.Willingness) {
-		return fmt.Errorf("stored willingness %.6f != recomputed %.6f", sol.Willingness, w)
+	if w := b.Value(sol.Nodes); !closeEnough(w, sol.Willingness) {
+		return fmt.Errorf("stored %s value %.6f != recomputed %.6f", b.Name(), sol.Willingness, w)
 	}
 	return nil
 }

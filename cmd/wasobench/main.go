@@ -41,6 +41,7 @@ import (
 	"waso/internal/gen"
 	"waso/internal/graph"
 	"waso/internal/metrics"
+	"waso/internal/objective"
 	"waso/internal/solver"
 )
 
@@ -108,6 +109,7 @@ func run(args []string, out io.Writer) error {
 		samples  = fs.Int("samples", 50, "random samples per start")
 		workers  = fs.String("workers", "1,2,4,8", "comma-separated worker counts to sweep")
 		regions  = fs.String("regions", string(defaultRegions), "comma-separated region modes to sweep (auto, off, always)")
+		objs     = fs.String("objectives", core.DefaultObjective, "comma-separated scoring objectives to sweep ("+strings.Join(objective.Names(), ",")+")")
 		reps     = fs.Int("reps", 3, "repetitions per configuration (fastest wins)")
 		seed     = fs.Uint64("seed", 1, "graph and request seed")
 		outPath  = fs.String("out", "", "write the JSON report here instead of stdout")
@@ -176,6 +178,15 @@ func run(args []string, out io.Writer) error {
 		}
 		modes = append(modes, mode)
 	}
+	var objSweep []objective.Objective
+	for _, o := range strings.Split(*objs, ",") {
+		obj, err := objective.New(strings.TrimSpace(o))
+		if err != nil {
+			return fmt.Errorf("-objectives: %w", err)
+		}
+		objSweep = append(objSweep, obj)
+	}
+	defaultObjOnly := len(objSweep) == 1 && objSweep[0].Name() == core.DefaultObjective
 
 	// Fail on unknown solvers before any expensive graph build.
 	algoNames := strings.Split(*algos, ",")
@@ -184,6 +195,13 @@ func run(args []string, out io.Writer) error {
 		if _, err := solver.New(algoNames[i]); err != nil {
 			return err
 		}
+	}
+
+	if (*mutate || *overload || *throughput) && !defaultObjOnly {
+		// The replay modes exercise the serving machinery, not the scoring
+		// generality; keeping them on the default objective keeps their
+		// historical row names and baselines meaningful.
+		return fmt.Errorf("-mutate/-overload/-throughput replay the default objective only, got -objectives=%q", *objs)
 	}
 
 	if *mutate {
@@ -351,41 +369,48 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		prep := solver.NewPrep(g)
 		pool := solver.NewWorkspacePool(g)
-		cache := solver.NewRegionCache(g, 0)
-		warm := solver.WithRegionCache(solver.WithWorkspacePool(solver.WithPrep(ctx, prep), pool), cache)
 		fmt.Fprintf(os.Stderr, "wasobench: n=%d m=%d built in %v\n", g.N(), g.M(), time.Since(began).Round(time.Millisecond))
 
-		for _, k := range kSweep {
-			for _, algoName := range algoNames {
-				sv, err := solver.New(algoName)
-				if err != nil {
-					return err
-				}
-				req := core.DefaultRequest(k)
-				req.Starts = *starts
-				req.Samples = *samples
-				req.Seed = *seed
-				for _, mode := range modes {
-					req.Region = mode
-					for _, w := range sweep {
-						req.Workers = w
-						name := rowName(n, *genKind, k, algoName, w, mode, false)
-						e, err := measure(warm, g, sv, req, name, *reps)
-						if err != nil {
-							return err
-						}
-						rep.Benchmarks = append(rep.Benchmarks, e)
+		for _, obj := range objSweep {
+			// Per-(graph, objective) shared state, exactly like the service
+			// layer's objState; the workspace pool is objective-agnostic and
+			// shared across the whole sweep.
+			b := objective.Bind(obj, g)
+			prep := solver.NewPrep(b)
+			cache := solver.NewRegionCache(b, 0)
+			warm := solver.WithRegionCache(solver.WithWorkspacePool(solver.WithPrep(ctx, prep), pool), cache)
+			for _, k := range kSweep {
+				for _, algoName := range algoNames {
+					sv, err := solver.New(algoName)
+					if err != nil {
+						return err
 					}
-					if !*skipCold {
-						req.Workers = 1
-						name := rowName(n, *genKind, k, algoName, 1, mode, true)
-						e, err := measure(ctx, g, sv, req, name, *reps)
-						if err != nil {
-							return err
+					req := core.DefaultRequest(k)
+					req.Starts = *starts
+					req.Samples = *samples
+					req.Seed = *seed
+					req.Objective = obj.Name()
+					for _, mode := range modes {
+						req.Region = mode
+						for _, w := range sweep {
+							req.Workers = w
+							name := rowName(n, *genKind, k, algoName, w, mode, false, obj.Name())
+							e, err := measure(warm, g, sv, req, name, *reps)
+							if err != nil {
+								return err
+							}
+							rep.Benchmarks = append(rep.Benchmarks, e)
 						}
-						rep.Benchmarks = append(rep.Benchmarks, e)
+						if !*skipCold {
+							req.Workers = 1
+							name := rowName(n, *genKind, k, algoName, 1, mode, true, obj.Name())
+							e, err := measure(ctx, g, sv, req, name, *reps)
+							if err != nil {
+								return err
+							}
+							rep.Benchmarks = append(rep.Benchmarks, e)
+						}
 					}
 				}
 			}
@@ -397,10 +422,17 @@ func run(args []string, out io.Writer) error {
 
 // rowName renders one benchmark row name. Default sweep-axis values are
 // omitted so the canonical rows keep their historical names and stay
-// comparable across releases.
-func rowName(n int, genKind string, k int, algo string, workers int, mode core.RegionMode, unprepped bool) string {
+// comparable across releases. Non-default objectives get their own
+// BenchmarkObjective tree: the historical BenchmarkLargeGraph rows stay
+// untouched (and un-diluted) while the objective rows form a separately
+// gateable family.
+func rowName(n int, genKind string, k int, algo string, workers int, mode core.RegionMode, unprepped bool, objName string) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "BenchmarkLargeGraph/n=%d", n)
+	if objName != core.DefaultObjective {
+		fmt.Fprintf(&b, "BenchmarkObjective/obj=%s/n=%d", objName, n)
+	} else {
+		fmt.Fprintf(&b, "BenchmarkLargeGraph/n=%d", n)
+	}
 	if genKind != defaultGen {
 		fmt.Fprintf(&b, "/gen=%s", genKind)
 	}
@@ -496,10 +528,15 @@ func runThroughput(cfg throughputConfig, outPath string, out io.Writer, args []s
 			// the replay measures scheduling, not ranking or extraction.
 			// Pool, cache and executor stay addressable so each row can
 			// scrape their counters before and after its replay.
+			obj, err := objective.New(core.DefaultObjective)
+			if err != nil {
+				return err
+			}
+			b := objective.Bind(obj, g)
 			pool := solver.NewWorkspacePool(g)
-			cache := solver.NewRegionCache(g, 0)
+			cache := solver.NewRegionCache(b, 0)
 			warm := context.Background()
-			warm = solver.WithPrep(warm, solver.NewPrep(g))
+			warm = solver.WithPrep(warm, solver.NewPrep(b))
 			warm = solver.WithWorkspacePool(warm, pool)
 			warm = solver.WithRegionCache(warm, cache)
 			ex := solver.NewExecutor(0)

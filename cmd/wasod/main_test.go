@@ -18,6 +18,7 @@ import (
 	"waso/internal/core"
 	"waso/internal/gen"
 	"waso/internal/graph"
+	"waso/internal/objective"
 	"waso/internal/service"
 	"waso/internal/solver"
 )
@@ -257,6 +258,54 @@ func TestSolveMatchesCLIPath(t *testing.T) {
 		if got.Report.SamplesDrawn != want.SamplesDrawn {
 			t.Errorf("%s: server drew %d samples, direct %d", algo, got.Report.SamplesDrawn, want.SamplesDrawn)
 		}
+	}
+}
+
+// TestSolveObjectivesHTTP: every registered objective is servable through
+// the request's "objective" field, bit-identical to a direct solver call;
+// a budget solve echoes its applied plan as report.policy; an unknown
+// objective is the client's mistake (400), not a 500.
+func TestSolveObjectivesHTTP(t *testing.T) {
+	ts := newTestServer(t)
+	spec := gen.Spec{Kind: "powerlaw", N: 300, AvgDeg: 8, Seed: 6}
+	if status, body := doJSON(t, "POST", ts.URL+"/v1/graphs",
+		`{"id":"o","generate":{"kind":"powerlaw","n":300,"avgdeg":8,"seed":6}}`); status != http.StatusCreated {
+		t.Fatalf("generate: %d %s", status, body)
+	}
+	g, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, obj := range objective.Names() {
+		status, body := doJSON(t, "POST", ts.URL+"/v1/solve",
+			fmt.Sprintf(`{"graph":"o","algo":"cbasnd","request":{"k":8,"samples":25,"seed":3,"objective":%q}}`, obj))
+		if status != http.StatusOK {
+			t.Fatalf("%s: %d %s", obj, status, body)
+		}
+		var got struct {
+			Report core.Report `json:"report"`
+		}
+		if err := json.Unmarshal(body, &got); err != nil {
+			t.Fatal(err)
+		}
+		req := core.DefaultRequest(8)
+		req.Samples = 25
+		req.Seed = 3
+		req.Objective = obj
+		want, err := (solver.CBASND{}).Solve(context.Background(), g, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Report.Best.Willingness != want.Best.Willingness || !got.Report.Best.Equal(want.Best) {
+			t.Errorf("%s: server %v != direct %v", obj, got.Report.Best, want.Best)
+		}
+		if wantPolicy := obj == "budget"; (got.Report.Policy != "") != wantPolicy {
+			t.Errorf("%s: report.policy = %q, want populated=%v", obj, got.Report.Policy, wantPolicy)
+		}
+	}
+	if status, body := doJSON(t, "POST", ts.URL+"/v1/solve",
+		`{"graph":"o","algo":"cbasnd","request":{"k":8,"objective":"entropy"}}`); status != http.StatusBadRequest {
+		t.Errorf("unknown objective: %d %s, want 400", status, body)
 	}
 }
 

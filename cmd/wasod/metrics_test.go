@@ -69,8 +69,8 @@ func TestMetricsExposition(t *testing.T) {
 	for _, want := range []string{
 		`waso_http_requests_total{route="/v1/solve",code="200"} 1`,
 		`waso_http_requests_total{route="/v1/solve",code="400"} 1`,
-		`waso_solve_seconds_count{algo="cbasnd"} 1`,
-		`waso_solve_errors_total{algo="unknown",kind="invalid"} 1`,
+		`waso_solve_seconds_count{algo="cbasnd",objective="willingness"} 1`,
+		`waso_solve_errors_total{algo="unknown",objective="willingness",kind="invalid"} 1`,
 		`waso_solve_willingness_count{algo="cbasnd"} 1`,
 		`waso_graphs_resident 1`,
 	} {

@@ -7,12 +7,28 @@
 //	core    — wire-ready vocabulary: Request (k, starts, samples, seed,
 //	          alpha, sampler, prune — no sentinel values, explicit
 //	          DefaultRequest/Validate), Report, Solution.
-//	graph   — immutable CSR social graph (Eq. 1 willingness) carrying a
-//	          fused τ_out+τ_in adjacency for the solver hot loops, the
+//	graph   — immutable CSR social graph carrying the raw per-node
+//	          interest (η) and per-edge tightness (τ) scores plus a fused
+//	          τ_out+τ_in adjacency for the solver hot loops, the
 //	          versioned binary codec, JSON edge-list ingestion, and
 //	          graph.Region — bounded-depth BFS extraction of the
 //	          (k−1)-hop ball around a start, remapped to a dense compact
 //	          CSR (monotone id order, lossless for any growth of size ≤ k).
+//	          The graph holds no objective semantics: what a group is
+//	          worth is the next layer's business.
+//	objective — the pluggable scoring layer between graph and solver:
+//	          an Objective turns a graph's raw scores into the fused
+//	          per-node / per-adjacency-entry gain arrays the growth
+//	          loops consume (the fused-additive contract: symmetric
+//	          nonnegative edge gains, finite node gains, so the §3.1
+//	          start bound stays admissible), plus a scale-adaptive
+//	          search-budget Plan. Objectives register by name like
+//	          solvers; "willingness" (Eq. 1) aliases the graph's own
+//	          fused slabs so the seam is bit-identical to the pre-seam
+//	          code, "friend" scores noisy-or friend-making likelihood
+//	          (arXiv 1502.06682), "budget" scores like willingness but
+//	          plans starts/samples/region caps from the instance scale
+//	          (arXiv 1502.06819).
 //	solver  — the four paper algorithms behind a registry
 //	          (Register/New/Names) with the context-aware entry point
 //	          Solve(ctx, g, req). The driver decomposes the sample budget
@@ -22,10 +38,13 @@
 //	          Pruned counter is advisory (schedule-dependent). Locality:
 //	          each start's tasks run on its Region when the (K−1)-hop
 //	          ball is small enough (Request.Region: auto/off/always,
-//	          results-neutral by construction). WithPrep shares a
-//	          precomputed NodeScore ranking across calls (per-call solves
-//	          build a partial top-t ranking instead of sorting the
-//	          graph), WithWorkspacePool recycles per-worker scratch
+//	          results-neutral by construction). Solvers consume the
+//	          objective seam only — an objective.Binding's arrays, Delta
+//	          and Bound — so every algorithm, bound and cache works for
+//	          any registered objective unchanged. WithPrep shares a
+//	          precomputed start ranking (objective Bound scores) across
+//	          calls (per-call solves build a partial top-t ranking
+//	          instead of sorting the graph), WithWorkspacePool recycles per-worker scratch
 //	          buffers, WithRegionCache shares a bounded LRU of extracted
 //	          (start, radius) regions, and WithExecutor schedules a
 //	          solve's tasks on a shared bounded Executor — one goroutine
@@ -53,8 +72,10 @@
 //	          an interface, so fault-injection tests can cut power at
 //	          every byte offset.
 //	service — the serving layer: concurrency-safe in-memory graph store
-//	          (load/generate/evict/mutate) holding one solver.Prep, one
-//	          workspace pool and one region cache per graph, one
+//	          (load/generate/evict/mutate) holding one workspace pool
+//	          per graph plus one solver.Prep and region cache per
+//	          (graph, objective) — the default objective bound eagerly,
+//	          others on first request — one
 //	          process-wide solver.Executor every request runs on, and
 //	          the Solve/SolveBatch orchestrators with per-request
 //	          deadlines (batch items run concurrently and fail

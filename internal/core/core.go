@@ -29,6 +29,12 @@ const (
 	DefaultAlpha   = 2.0
 )
 
+// DefaultObjective names the objective an empty Request.Objective resolves
+// to: the paper's willingness score (Eq. 1). Kept as a plain string so
+// core stays free of the objective registry — resolution (and rejection
+// of unknown names) happens at solve time.
+const DefaultObjective = "willingness"
+
 // Sampler selects the weighted-sampling backend used by CBAS-ND.
 type Sampler string
 
@@ -87,12 +93,20 @@ func (m RegionMode) Validate() error {
 // a DefaultRequest so absent fields keep their defaults.
 type Request struct {
 	K       int     `json:"k"`       // maximum group size (Eq. 1); must be ≥ 1
-	Starts  int     `json:"starts"`  // start nodes from the top of the NodeScore ranking; ≥ 1
+	Starts  int     `json:"starts"`  // start nodes from the top of the bound-score ranking; ≥ 1
 	Samples int     `json:"samples"` // random samples per start; ≥ 0 (0 = deterministic completion only)
 	Seed    uint64  `json:"seed"`    // root seed; all sub-streams derive from it
-	Alpha   float64 `json:"alpha"`   // CBAS-ND adapted-probability exponent: P(v) ∝ ΔW(v|S)^α
+	Alpha   float64 `json:"alpha"`   // CBAS-ND adapted-probability exponent: P(v) ∝ Δ(v|S)^α
 	Sampler Sampler `json:"sampler"` // CBAS-ND weighted-sampler backend
 	Prune   bool    `json:"prune"`   // apply the §3.1 upper-bound sample pruning
+
+	// Objective names the registered scoring objective the solve maximizes
+	// (internal/objective); empty means DefaultObjective. Validate only
+	// shape-checks it — unknown names are rejected by the solver (and map
+	// to invalid-request errors in the serving layers), keeping core free
+	// of the registry. Part of the request identity: different objectives
+	// produce different Bests.
+	Objective string `json:"objective,omitempty"`
 
 	// Region selects whole-graph vs per-start (K−1)-hop search regions.
 	// Execution strategy only: never affects Best or SamplesDrawn.
@@ -139,23 +153,29 @@ func DecodeRequest(raw []byte) (Request, error) {
 }
 
 // Validate reports the first field a solver could not faithfully execute.
+// Every rejection names the offending field and the value it carried, in
+// one uniform "core: Request.<Field> ..." shape, so the message is useful
+// verbatim as a 400 body.
 func (r Request) Validate() error {
 	if r.K < 1 {
-		return fmt.Errorf("core: K must be ≥ 1, got %d", r.K)
+		return fmt.Errorf("core: Request.K must be ≥ 1, got %d", r.K)
 	}
 	if r.Starts < 1 {
-		return fmt.Errorf("core: Starts must be ≥ 1, got %d", r.Starts)
+		return fmt.Errorf("core: Request.Starts must be ≥ 1, got %d", r.Starts)
 	}
 	if r.Samples < 0 {
-		return fmt.Errorf("core: Samples must be ≥ 0, got %d", r.Samples)
+		return fmt.Errorf("core: Request.Samples must be ≥ 0, got %d", r.Samples)
 	}
 	if math.IsNaN(r.Alpha) || math.IsInf(r.Alpha, 0) || r.Alpha < 0 {
-		return fmt.Errorf("core: Alpha must be finite and ≥ 0, got %v", r.Alpha)
+		return fmt.Errorf("core: Request.Alpha must be finite and ≥ 0, got %v", r.Alpha)
 	}
 	if err := r.Sampler.Validate(); err != nil {
-		return err
+		return fmt.Errorf("core: Request.Sampler: %w", err)
 	}
-	return r.Region.Validate()
+	if err := r.Region.Validate(); err != nil {
+		return fmt.Errorf("core: Request.Region: %w", err)
+	}
+	return nil
 }
 
 // Report is the result of one solving call: the best group found plus the
@@ -184,6 +204,12 @@ type Report struct {
 	// the same request would return. Solvers never set it — only the
 	// admission layer does — so library results always report false.
 	Degraded bool `json:"degraded,omitempty"`
+
+	// Policy records the objective's applied scale-adaptive budget plan
+	// (the human-readable objective.Plan.Policy string). Empty when the
+	// objective expressed no plan — in particular for the default
+	// willingness objective, so its wire reports are unchanged.
+	Policy string `json:"policy,omitempty"`
 }
 
 // ElapsedMillis returns the wall-clock solve time in milliseconds.

@@ -12,12 +12,18 @@
 // O(deg v) scan, each endpoint's adjacency entry stores both the outgoing
 // weight τ_{i,j} and the incoming weight τ_{j,i}.
 //
-// The hot paths of every solver (ΔW updates, NodeScore) only ever consume
-// the sum τ_{i,j} + τ_{j,i}, so the graph additionally carries a fused
-// weight array wSum[p] = wOut[p] + wIn[p], derived once at construction:
-// reading one float64 per adjacency entry instead of two halves the
-// memory traffic of the growth inner loops. The directed arrays remain the
-// source of truth for Willingness, Tau and the codec.
+// The willingness hot paths only ever consume the sum τ_{i,j} + τ_{j,i},
+// so the graph additionally carries a fused weight array
+// wSum[p] = wOut[p] + wIn[p], derived once at construction: reading one
+// float64 per adjacency entry instead of two halves the memory traffic of
+// the growth inner loops. The directed arrays remain the source of truth
+// for Tau and the codec.
+//
+// Scoring semantics live one layer up, in internal/objective: the graph
+// stores raw η/τ and exposes them (Interest, Edges, FusedCSR), an
+// Objective turns them into the fused per-node / per-entry gain arrays
+// the solvers consume. The graph's own fused wSum/interest arrays are
+// exactly the willingness objective's arrays, aliased zero-copy.
 package graph
 
 import (
@@ -116,20 +122,9 @@ func (g *Graph) HasEdge(i, j NodeID) bool {
 	return ok
 }
 
-// NodeScore returns η_i + Σ_{j∈N(i)} (τ_{i,j} + τ_{j,i}), the sum CBAS
-// phase 1 ranks start-node candidates by ("adds the interest score and the
-// social tightness scores of incident edges", §3.1).
-func (g *Graph) NodeScore(i NodeID) float64 {
-	s := g.interest[i]
-	for p := g.off[i]; p < g.off[i+1]; p++ {
-		s += g.wSum[p]
-	}
-	return s
-}
-
 // sortedSet returns set in ascending order, copying only when the input is
 // unsorted. Solutions arrive canonical (ascending), so the stat paths that
-// call Willingness and Connected per row normally allocate nothing here.
+// call Connected per row normally allocate nothing here.
 func sortedSet(set []NodeID) []NodeID {
 	if slices.IsSorted(set) {
 		return set
@@ -137,49 +132,6 @@ func sortedSet(set []NodeID) []NodeID {
 	sorted := append([]NodeID(nil), set...)
 	slices.Sort(sorted)
 	return sorted
-}
-
-// Willingness computes W(set) per Eq. 1. Duplicate ids in set are an error
-// in the caller; behaviour is undefined. Membership tests are a merge scan
-// of the (sorted) set against each sorted adjacency list — O(Σ_{v∈set}
-// (deg v + |set|)) with no per-call map.
-func (g *Graph) Willingness(set []NodeID) float64 {
-	if len(set) == 0 {
-		return 0
-	}
-	sorted := sortedSet(set)
-	w := 0.0
-	for _, v := range sorted {
-		w += g.interest[v]
-		nbrs, tauOut, _ := g.Edges(v)
-		i := 0
-		for p, u := range nbrs {
-			for i < len(sorted) && sorted[i] < u {
-				i++
-			}
-			if i == len(sorted) {
-				break
-			}
-			if sorted[i] == u {
-				w += tauOut[p]
-			}
-		}
-	}
-	return w
-}
-
-// WillingnessDelta returns ΔW(v | S) = η_v + Σ_{u∈S∩N(v)} (τ_{v,u} + τ_{u,v}),
-// the willingness increase from adding v to a set S identified by inSet.
-// O(deg v).
-func (g *Graph) WillingnessDelta(v NodeID, inSet func(NodeID) bool) float64 {
-	d := g.interest[v]
-	nbrs, wSum := g.FusedEdges(v)
-	for p, u := range nbrs {
-		if inSet(u) {
-			d += wSum[p]
-		}
-	}
-	return d
 }
 
 // Connected reports whether the subgraph induced by set is connected.
@@ -251,20 +203,6 @@ func (g *Graph) LargestComponent() []NodeID {
 		}
 	}
 	return best
-}
-
-// TotalWillingness returns W(V): Σ η_i + Σ over all directed τ. Used by the
-// WASO-dis virtual-node transform (§2.2), whose virtual interest score is
-// ε + TotalWillingness.
-func (g *Graph) TotalWillingness() float64 {
-	w := 0.0
-	for _, eta := range g.interest {
-		w += eta
-	}
-	for _, t := range g.wOut {
-		w += t
-	}
-	return w
 }
 
 // Subgraph returns the graph induced on keep (deduplicated), along with the

@@ -33,49 +33,9 @@ func buildRef(t *testing.T) *Graph {
 
 func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
 
-func TestWillingness(t *testing.T) {
-	g := buildRef(t)
-	cases := []struct {
-		set  []NodeID
-		want float64
-	}{
-		{nil, 0},
-		{[]NodeID{2}, 3},
-		{[]NodeID{0, 1}, 1 + 2 + 0.5 + 0.25},
-		{[]NodeID{0, 1, 2}, 6 + 0.75 + 3 + 0.3},
-		{[]NodeID{3, 4}, 9 + 1},
-		{[]NodeID{0, 3}, 5}, // no internal edge
-	}
-	for _, c := range cases {
-		if got := g.Willingness(c.set); !almost(got, c.want) {
-			t.Errorf("Willingness(%v) = %v, want %v", c.set, got, c.want)
-		}
-	}
-}
-
-func TestWillingnessDelta(t *testing.T) {
-	g := buildRef(t)
-	in01 := func(u NodeID) bool { return u == 0 || u == 1 }
-	// ΔW(2 | {0,1}) must close the gap between W({0,1}) and W({0,1,2}).
-	want := g.Willingness([]NodeID{0, 1, 2}) - g.Willingness([]NodeID{0, 1})
-	if got := g.WillingnessDelta(2, in01); !almost(got, want) {
-		t.Errorf("WillingnessDelta(2|{0,1}) = %v, want %v", got, want)
-	}
-	// Against the empty set the delta is just η.
-	if got := g.WillingnessDelta(4, func(NodeID) bool { return false }); !almost(got, 5) {
-		t.Errorf("WillingnessDelta(4|{}) = %v, want 5", got)
-	}
-}
-
-func TestNodeScoreAndTotal(t *testing.T) {
-	g := buildRef(t)
-	if got := g.NodeScore(1); !almost(got, 2+0.75+3) {
-		t.Errorf("NodeScore(1) = %v, want 5.75", got)
-	}
-	if got := g.TotalWillingness(); !almost(got, 15+5.05) {
-		t.Errorf("TotalWillingness = %v, want 20.05", got)
-	}
-}
+// Willingness scoring semantics (set value, marginal delta, bound score)
+// now live in internal/objective; their reference tests moved to
+// objective_test.go against the same fixture shape.
 
 func TestConnected(t *testing.T) {
 	g := buildRef(t)
@@ -98,8 +58,8 @@ func TestConnected(t *testing.T) {
 	}
 }
 
-// TestUnsortedSets: Willingness and Connected accept sets in any order —
-// the sorted-membership scan must sort its own copy when needed.
+// TestUnsortedSets: Connected accepts sets in any order — the
+// sorted-membership scan must sort its own copy when needed.
 func TestUnsortedSets(t *testing.T) {
 	g := buildRef(t)
 	for _, set := range [][]NodeID{{2, 0, 1}, {1, 0}, {4, 3}, {2, 1, 0}} {
@@ -109,9 +69,6 @@ func TestUnsortedSets(t *testing.T) {
 			for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
 				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
 			}
-		}
-		if got, want := g.Willingness(input), g.Willingness(sorted); !almost(got, want) {
-			t.Errorf("Willingness(%v) = %v, want %v (sorted order)", set, got, want)
 		}
 		if got, want := g.Connected(input), g.Connected(sorted); got != want {
 			t.Errorf("Connected(%v) = %v, want %v (sorted order)", set, got, want)
@@ -126,9 +83,6 @@ func TestUnsortedSets(t *testing.T) {
 	}
 	if g.Connected([]NodeID{4, 0}) {
 		t.Error("Connected({4,0}) across components")
-	}
-	if got := g.Willingness([]NodeID{2, 1, 0}); !almost(got, 6+0.75+3+0.3) {
-		t.Errorf("Willingness({2,1,0}) = %v", got)
 	}
 }
 

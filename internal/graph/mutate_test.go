@@ -178,8 +178,17 @@ func TestApplyMutationsCanonical(t *testing.T) {
 					t.Fatalf("touched not sorted+deduped: %v", touched)
 				}
 			}
-			// NodeScores of untouched nodes must be bit-identical — that is
-			// the contract surgical Prep refresh relies on.
+			// Bound scores (η + Σ incident fused weight, the additive
+			// objective's Bound) of untouched nodes must be bit-identical —
+			// that is the contract surgical Prep refresh relies on.
+			boundScore := func(g *Graph, v NodeID) float64 {
+				s := g.Interest(v)
+				_, w := g.FusedEdges(v)
+				for _, x := range w {
+					s += x
+				}
+				return s
+			}
 			isTouched := make(map[NodeID]bool, len(touched))
 			for _, v := range touched {
 				isTouched[v] = true
@@ -189,8 +198,8 @@ func TestApplyMutationsCanonical(t *testing.T) {
 				if isTouched[v] {
 					continue
 				}
-				if a, b := g.NodeScore(v), g2.NodeScore(v); math.Float64bits(a) != math.Float64bits(b) {
-					t.Fatalf("untouched node %d changed NodeScore %v -> %v", v, a, b)
+				if a, b := boundScore(g, v), boundScore(g2, v); math.Float64bits(a) != math.Float64bits(b) {
+					t.Fatalf("untouched node %d changed bound score %v -> %v", v, a, b)
 				}
 			}
 			g = g2

@@ -17,24 +17,26 @@ import "slices"
 // bit-identical to growths on the whole graph.
 //
 // The local id order is the ascending global id order (a monotone remap),
-// so sorted adjacency, greedy (ΔW, id) tie-breaks, frontier append order
+// so sorted adjacency, greedy (Δ, id) tie-breaks, frontier append order
 // and canonical solution order all translate 1:1 between the two id
-// spaces. The adjacency carries only the fused weight τ_out+τ_in — the
-// one number the growth loops consume.
+// spaces. The adjacency carries one opaque fused gain per entry — the
+// objective-provided number the growth loops consume (τ_out+τ_in for
+// willingness) — plus one per-node gain; the region itself knows nothing
+// about what they mean.
 type Region struct {
 	start      NodeID // global id of the start node
 	localStart NodeID // its dense local id
 	radius     int
 
-	toGlobal []NodeID // local id -> global id, strictly ascending
-	off      []int64  // local CSR offsets, len N()+1
-	nbr      []NodeID // local neighbor ids, sorted per node
-	wSum     []float64
-	eta      []float64
+	toGlobal []NodeID  // local id -> global id, strictly ascending
+	off      []int64   // local CSR offsets, len N()+1
+	nbr      []NodeID  // local neighbor ids, sorted per node
+	w        []float64 // fused per-entry gain slab (objective-defined)
+	node     []float64 // per-node gain slab (objective-defined)
 }
 
 // N returns the number of nodes in the region.
-func (r *Region) N() int { return len(r.eta) }
+func (r *Region) N() int { return len(r.node) }
 
 // M returns the number of undirected edges inside the region.
 func (r *Region) M() int { return len(r.nbr) / 2 }
@@ -53,9 +55,10 @@ func (r *Region) Radius() int { return r.radius }
 func (r *Region) GlobalIDs() []NodeID { return r.toGlobal }
 
 // CSR exposes the region's raw arrays in the same substrate shape as
-// Graph.FusedCSR. All slices alias internal storage.
-func (r *Region) CSR() (off []int64, nbr []NodeID, wSum, interest []float64) {
-	return r.off, r.nbr, r.wSum, r.eta
+// Graph.FusedCSR, carrying whatever fused slabs the region was extracted
+// with. All slices alias internal storage.
+func (r *Region) CSR() (off []int64, nbr []NodeID, edge, node []float64) {
+	return r.off, r.nbr, r.w, r.node
 }
 
 // RegionBuilder extracts Regions from one graph, reusing its O(N) scratch
@@ -76,11 +79,13 @@ func NewRegionBuilder(g *Graph) *RegionBuilder {
 	return &RegionBuilder{g: g, localOf: localOf}
 }
 
-// Extract builds the Region of the ≤radius-hop ball around start. It
-// returns nil when the ball would exceed maxNodes — the caller's signal to
-// fall back to whole-graph solving for this start. start must be a valid
-// node of the builder's graph.
-func (rb *RegionBuilder) Extract(start NodeID, radius, maxNodes int) *Region {
+// Extract builds the Region of the ≤radius-hop ball around start,
+// carrying the caller's fused gain slabs: edge is one value per adjacency
+// entry of the builder's graph (FusedCSR order, len 2M), node one value
+// per node. It returns nil when the ball would exceed maxNodes — the
+// caller's signal to fall back to whole-graph solving for this start.
+// start must be a valid node of the builder's graph.
+func (rb *RegionBuilder) Extract(start NodeID, radius, maxNodes int, edge, node []float64) *Region {
 	g := rb.g
 	if maxNodes < 1 {
 		return nil
@@ -140,19 +145,19 @@ bfs:
 	}
 	nnz := off[len(ball)]
 	nbr := make([]NodeID, nnz)
-	wSum := make([]float64, nnz)
-	eta := make([]float64, len(ball))
+	w := make([]float64, nnz)
+	rnode := make([]float64, len(ball))
 	for i, v := range ball {
-		eta[i] = g.interest[v]
+		rnode[i] = node[v]
 		p := off[i]
-		gn, gw := g.FusedEdges(v)
-		for gp, u := range gn {
+		lo := g.off[v]
+		for gp, u := range g.Neighbors(v) {
 			lu := rb.localOf[u]
 			if lu < 0 {
 				continue
 			}
 			nbr[p] = NodeID(lu)
-			wSum[p] = gw[gp]
+			w[p] = edge[lo+int64(gp)]
 			p++
 		}
 	}
@@ -163,8 +168,8 @@ bfs:
 		toGlobal:   ball,
 		off:        off,
 		nbr:        nbr,
-		wSum:       wSum,
-		eta:        eta,
+		w:          w,
+		node:       rnode,
 	}
 	for _, v := range ball {
 		rb.localOf[v] = -1
@@ -172,11 +177,13 @@ bfs:
 	return r
 }
 
-// ExtractRegion is the one-shot convenience over NewRegionBuilder+Extract.
-// Callers extracting many regions from one graph should hold a
-// RegionBuilder (or a solver.RegionCache) instead.
+// ExtractRegion is the one-shot convenience over NewRegionBuilder+Extract,
+// carrying the graph's own fused τ_out+τ_in and η slabs (the willingness
+// objective's arrays). Callers extracting many regions from one graph, or
+// under a different objective, should hold a RegionBuilder (or a
+// solver.RegionCache) instead.
 func (g *Graph) ExtractRegion(start NodeID, radius, maxNodes int) *Region {
-	return NewRegionBuilder(g).Extract(start, radius, maxNodes)
+	return NewRegionBuilder(g).Extract(start, radius, maxNodes, g.wSum, g.interest)
 }
 
 // HopDistances runs a multi-source BFS from sources and returns the hop

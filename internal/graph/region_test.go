@@ -64,12 +64,18 @@ func checkRegionMatchesSubgraph(t *testing.T, g *Graph, r *Region, wantBall []No
 	}
 }
 
+// extract runs the slab-parameterized Extract with the graph's own fused
+// willingness slabs — the configuration every region test exercises.
+func extract(rb *RegionBuilder, start NodeID, radius, maxNodes int) *Region {
+	return rb.Extract(start, radius, maxNodes, rb.g.wSum, rb.g.interest)
+}
+
 func TestRegionExtraction(t *testing.T) {
 	g := twoComponentGraph(t)
 	rb := NewRegionBuilder(g)
 
 	// Ball strictly smaller than the component: radius 2 around node 2.
-	r := rb.Extract(2, 2, g.N())
+	r := extract(rb, 2, 2, g.N())
 	checkRegionMatchesSubgraph(t, g, r, []NodeID{0, 1, 2, 3, 4})
 	if r.Radius() != 2 || r.Start() != 2 {
 		t.Errorf("radius/start = %d/%d", r.Radius(), r.Start())
@@ -77,21 +83,21 @@ func TestRegionExtraction(t *testing.T) {
 
 	// Ball equal to the component: radius ≥ diameter saturates at the
 	// component, never spills into other components.
-	r = rb.Extract(0, 5, g.N())
+	r = extract(rb, 0, 5, g.N())
 	checkRegionMatchesSubgraph(t, g, r, []NodeID{0, 1, 2, 3, 4, 5})
-	r = rb.Extract(0, 50, g.N())
+	r = extract(rb, 0, 50, g.N())
 	checkRegionMatchesSubgraph(t, g, r, []NodeID{0, 1, 2, 3, 4, 5})
 
 	// Radius far larger than a small component: the ball is the component.
-	r = rb.Extract(7, 50, g.N())
+	r = extract(rb, 7, 50, g.N())
 	checkRegionMatchesSubgraph(t, g, r, []NodeID{6, 7})
 
 	// Radius 0: the start alone.
-	r = rb.Extract(3, 0, g.N())
+	r = extract(rb, 3, 0, g.N())
 	checkRegionMatchesSubgraph(t, g, r, []NodeID{3})
 
 	// Isolated node.
-	r = rb.Extract(8, 10, g.N())
+	r = extract(rb, 8, 10, g.N())
 	checkRegionMatchesSubgraph(t, g, r, []NodeID{8})
 }
 
@@ -100,18 +106,18 @@ func TestRegionExtraction(t *testing.T) {
 func TestRegionCap(t *testing.T) {
 	g := twoComponentGraph(t)
 	rb := NewRegionBuilder(g)
-	if r := rb.Extract(2, 2, 3); r != nil {
+	if r := extract(rb, 2, 2, 3); r != nil {
 		t.Fatalf("cap 3 extraction returned %v, want nil", r.GlobalIDs())
 	}
-	if r := rb.Extract(2, 2, 0); r != nil {
+	if r := extract(rb, 2, 2, 0); r != nil {
 		t.Fatalf("cap 0 extraction returned %v, want nil", r.GlobalIDs())
 	}
 	// Scratch must be fully reset: the same extraction with room succeeds
 	// and sees the full ball.
-	r := rb.Extract(2, 2, 5)
+	r := extract(rb, 2, 2, 5)
 	checkRegionMatchesSubgraph(t, g, r, []NodeID{0, 1, 2, 3, 4})
 	// An exact-size cap is not an overflow.
-	r = rb.Extract(7, 50, 2)
+	r = extract(rb, 7, 50, 2)
 	checkRegionMatchesSubgraph(t, g, r, []NodeID{6, 7})
 }
 
@@ -141,7 +147,7 @@ func TestRegionRandomized(t *testing.T) {
 			start := NodeID(rng.Intn(n))
 			radius := rng.Intn(5)
 			want := referenceBall(g, start, radius)
-			r := rb.Extract(start, radius, g.N())
+			r := extract(rb, start, radius, g.N())
 			checkRegionMatchesSubgraph(t, g, r, want)
 		}
 	}

@@ -11,7 +11,7 @@ import (
 // invariance test suites catch violations after the fact; this analyzer
 // rejects the four ways they get written in the first place, at the AST
 // level, inside the result-path packages (internal/solver, internal/sampling,
-// internal/graph, internal/gen):
+// internal/graph, internal/gen, internal/objective):
 //
 //   - wall-clock reads (time.Now, time.Since, time.Sleep, time.Until):
 //     timing must never influence which group a solve returns;
@@ -23,9 +23,14 @@ import (
 //   - select over two or more channels: when several are ready the runtime
 //     picks uniformly at random, so control flow diverges between runs.
 //
-// Scope is the call graph reachable from functions named Solve or execTask
-// (the result paths); packages with neither — the substrate packages — are
-// checked whole. Legitimate sites (advisory timing of Report.Elapsed,
+// Scope is the call graph reachable from the result-path entry points:
+// functions named Solve or execTask (the solver paths) and the Objective
+// contract methods Delta, Bound, Arrays and Plan (the scoring paths —
+// every value they return lands in Report.Best, so a clock read or map
+// range there is exactly as fatal as one in a Solve). Packages declaring
+// none of these — the substrate packages — are checked whole; registry
+// plumbing like objective.Names, unreachable from the entry points, is
+// deliberately out of scope. Legitimate sites (advisory timing of Report.Elapsed,
 // map ranges whose keys are sorted before use) carry an explicit
 // //lint:allow determinism(reason) so every exemption is visible and
 // reviewed in the diff that introduces it.
@@ -42,6 +47,7 @@ var determinismPkgs = []string{
 	"internal/sampling",
 	"internal/graph",
 	"internal/gen",
+	"internal/objective",
 }
 
 // timeFuncs are the package time functions that read or depend on the wall
@@ -71,12 +77,14 @@ func runDeterminism(pass *Pass) error {
 	}
 	graph := buildCallGraph(pass)
 
-	// Roots: the result-path entry points. A package that declares neither
-	// (sampling, graph, gen — substrates wholly on the result path) is
-	// checked in full.
+	// Roots: the result-path entry points — Solve/execTask in the solver
+	// layer, the Objective contract methods in the scoring layer. A package
+	// that declares none of them (sampling, graph, gen — substrates wholly
+	// on the result path) is checked in full.
 	var roots []*types.Func
 	for fn := range graph.decls {
-		if fn.Name() == "Solve" || fn.Name() == "execTask" {
+		switch fn.Name() {
+		case "Solve", "execTask", "Delta", "Bound", "Arrays", "Plan":
 			roots = append(roots, fn)
 		}
 	}

@@ -61,3 +61,38 @@ func allowedTiming(m map[int]int) time.Duration {
 func notReachable() time.Time { return time.Now() }
 
 var _ = notReachable
+
+// Delta mirrors the Objective contract method: it is a result-path root —
+// its return value becomes Report.Best — so clock reads inside it are
+// findings exactly like in Solve.
+func Delta(m map[int]int) float64 {
+	_ = time.Now() // want `call to time\.Now in a result path`
+	return deltaHelper(m)
+}
+
+// deltaHelper is reachable from the Delta root, so its map range is
+// flagged.
+func deltaHelper(m map[int]int) float64 {
+	total := 0.0
+	for _, v := range m { // want `range over map in a result path`
+		total += float64(v)
+	}
+	return total
+}
+
+// Bound is the other scoring root: global RNG draws in it are findings.
+func Bound() float64 {
+	return float64(rand.Intn(3)) // want `call to global rand\.Intn in a result path`
+}
+
+// names mirrors the objective registry's Names(): its map range sorts keys
+// after collection and is not reachable from any root, so it stays silent.
+func names(registry map[string]int) []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	return out
+}
+
+var _ = names

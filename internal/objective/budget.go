@@ -1,0 +1,57 @@
+package objective
+
+import (
+	"fmt"
+	"math/bits"
+
+	"waso/internal/graph"
+)
+
+// Budget scores exactly like willingness but plans its own search budget
+// from the instance scale, in the spirit of SAGA's scale-adaptive
+// parameter selection (arXiv 1502.06819): instead of the caller hand-
+// tuning starts/samples and the solver's autoRegionCap heuristic, the
+// objective derives all three from (n, average degree, k) with pure
+// integer math — log₂-scaled starts, k·log₂(n)-scaled samples, and a
+// region cap proportional to the expected (k−1)-hop ball size. The
+// applied plan is surfaced verbatim on Report.Policy.
+type Budget struct{ Additive }
+
+// Name implements Objective.
+func (Budget) Name() string { return "budget" }
+
+// Arrays implements Objective: identical to willingness (aliases the
+// graph's fused CSR) — only the planning differs.
+func (Budget) Arrays(g *graph.Graph) Arrays {
+	_, _, wSum, interest := g.FusedCSR()
+	return Arrays{Edge: wSum, Node: interest}
+}
+
+// Plan implements Objective with the SAGA-style scale adaptation. Pure
+// integer math over Scale — bit-deterministic and worker-independent.
+func (Budget) Plan(s Scale) Plan {
+	logN := bits.Len(uint(s.N)) // ⌈log₂(n+1)⌉; 0 only for an empty graph
+	starts := clamp(logN, 4, 32)
+	samples := clamp(4*s.K*logN, 64, 1024)
+	regionCap := clamp(64*s.K*(int(s.AvgDeg)+1), 1024, 1<<15)
+	return Plan{
+		Starts:    starts,
+		Samples:   samples,
+		RegionCap: regionCap,
+		Policy: fmt.Sprintf("saga: starts=%d samples=%d regioncap=%d (n=%d k=%d)",
+			starts, samples, regionCap, s.N, s.K),
+	}
+}
+
+// clamp bounds v to [lo, hi].
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func init() { Register(Budget{}) }

@@ -14,8 +14,8 @@ import (
 // they never touch a Report — so solving with metrics on is bit-identical
 // to solving without (the tentpole's neutrality requirement). Families:
 //
-//	waso_solve_seconds{algo}            dispatch-to-result latency histogram
-//	waso_solve_errors_total{algo,kind}  failures by class (invalid, timeout, canceled, other)
+//	waso_solve_seconds{algo,objective}            dispatch-to-result latency histogram
+//	waso_solve_errors_total{algo,objective,kind}  failures by class (invalid, timeout, canceled, other)
 //	waso_solve_samples_total{algo}      random samples drawn (advisory, per Report)
 //	waso_solve_pruned_total{algo}       samples abandoned by the upper bound
 //	waso_solve_willingness{algo}        streaming moments of Best.Willingness
@@ -54,11 +54,17 @@ type cacheTotals struct {
 	poolGets, poolAllocs                                     uint64
 }
 
-// addEntry folds one graph entry's current counters into t.
+// addEntry folds one graph entry's current counters into t, summing the
+// region-cache traffic of every resident objective state.
 func (t *cacheTotals) addEntry(e *entry) {
 	t.addPool(e)
-	if e.regions != nil {
-		rs := e.regions.Stats()
+	e.objMu.Lock()
+	defer e.objMu.Unlock()
+	for _, os := range e.objs {
+		if os.regions == nil {
+			continue
+		}
+		rs := os.regions.Stats()
 		t.regionHits += rs.Hits
 		t.regionMisses += rs.Misses
 		t.regionNegHits += rs.NegativeHits
@@ -94,10 +100,10 @@ func (s *Service) registerMetrics() {
 	reg := s.reg
 	s.met = solveMetrics{
 		latency: reg.NewHistogram("waso_solve_seconds",
-			"Solve latency from dispatch to result, per algorithm.",
-			metrics.DefLatencyBuckets, "algo"),
+			"Solve latency from dispatch to result, per algorithm and objective.",
+			metrics.DefLatencyBuckets, "algo", "objective"),
 		errors: reg.NewCounter("waso_solve_errors_total",
-			"Failed solves by algorithm and error class.", "algo", "kind"),
+			"Failed solves by algorithm, objective and error class.", "algo", "objective", "kind"),
 		samples: reg.NewCounter("waso_solve_samples_total",
 			"Random samples drawn by completed solves (advisory).", "algo"),
 		pruned: reg.NewCounter("waso_solve_pruned_total",

@@ -12,8 +12,28 @@ import (
 	"waso/internal/admit"
 	"waso/internal/core"
 	"waso/internal/graph"
+	"waso/internal/solver"
 	"waso/internal/store"
 )
+
+// defaultRegions fetches id's region cache for the default objective — the
+// per-objective state the pre-objective tests reached via entry.regions.
+func defaultRegions(t *testing.T, s *Service, id string) *solver.RegionCache {
+	t.Helper()
+	s.mu.RLock()
+	e := s.graphs[id]
+	s.mu.RUnlock()
+	if e == nil {
+		t.Fatalf("graph %q not resident", id)
+	}
+	e.objMu.Lock()
+	defer e.objMu.Unlock()
+	os := e.objs[core.DefaultObjective]
+	if os == nil {
+		t.Fatalf("graph %q has no default objective state", id)
+	}
+	return os.regions
+}
 
 // pathGraph builds a path 0–1–…–(n−1) with distinct interests and weights,
 // so every edge and every mutation target is known to the test.
@@ -136,9 +156,7 @@ func TestMutateSurgicalRetention(t *testing.T) {
 	if _, err := s.Load("p", pathGraph(t, 64), "test"); err != nil {
 		t.Fatal(err)
 	}
-	s.mu.RLock()
-	rc := s.graphs["p"].regions
-	s.mu.RUnlock()
+	rc := defaultRegions(t, s, "p")
 	if rc == nil {
 		t.Fatal("region cache not built")
 	}
@@ -152,9 +170,7 @@ func TestMutateSurgicalRetention(t *testing.T) {
 	if _, err := s.Mutate(ctx, "p", muts, -1); err != nil {
 		t.Fatal(err)
 	}
-	s.mu.RLock()
-	nrc := s.graphs["p"].regions
-	s.mu.RUnlock()
+	nrc := defaultRegions(t, s, "p")
 	if nrc == rc {
 		t.Fatal("region cache not swapped for the mutated graph")
 	}

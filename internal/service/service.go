@@ -1,12 +1,14 @@
 // Package service is the serving layer between the solver library and the
 // network: a concurrency-safe in-memory store of long-lived social graphs
-// plus a request orchestrator. Each stored graph carries its precomputed
-// NodeScore ranking (solver.Prep), a recycled workspace pool, and a
-// bounded LRU of extracted (start, radius) search regions
-// (solver.RegionCache) — all built or filled once and shared by every
-// request against that graph, the amortization that makes many concurrent
-// (k, budget) queries against one graph cheap, per the scale-adaptive
-// serving model of Shuai et al.
+// plus a request orchestrator. Each stored graph carries a recycled
+// workspace pool plus, per scoring objective, a precomputed bound-score
+// ranking (solver.Prep) and a bounded LRU of extracted (start, radius)
+// search regions (solver.RegionCache) — all built or filled once and
+// shared by every request against that (graph, objective), the
+// amortization that makes many concurrent (k, budget) queries against one
+// graph cheap, per the scale-adaptive serving model of Shuai et al. The
+// default willingness objective's state is built eagerly at load; other
+// registered objectives bind lazily on first use and then stay resident.
 //
 // The service also owns one shared solver.Executor — a single goroutine
 // pool sized to GOMAXPROCS — and routes every Solve and SolveBatch through
@@ -35,6 +37,7 @@ import (
 	"waso/internal/gen"
 	"waso/internal/graph"
 	"waso/internal/metrics"
+	"waso/internal/objective"
 	"waso/internal/solver"
 	"waso/internal/store"
 )
@@ -93,7 +96,7 @@ type GraphInfo struct {
 	Edges     int       `json:"edges"`
 	AvgDegree float64   `json:"avg_degree"`
 	Source    string    `json:"source"`  // provenance: "upload", "binary", gen.Spec string, ...
-	Prepped   bool      `json:"prepped"` // precomputed NodeScore ranking is resident
+	Prepped   bool      `json:"prepped"` // precomputed bound-score ranking is resident
 	CreatedAt time.Time `json:"created_at"`
 	// Version is the graph's monotone mutation counter: 0 as loaded, +1
 	// per applied PATCH batch. It doubles as the optimistic-concurrency
@@ -103,17 +106,35 @@ type GraphInfo struct {
 	ResidentBytes int64 `json:"resident_bytes"`
 }
 
-// entry pairs a graph with its shared precomputation, its workspace pool —
-// the recycled per-worker scratch buffers that keep a busy serving path
-// from allocating O(n) state on every request — and its search-region
-// cache, so many requests against one graph share the same extracted
-// (start, radius) locality instances regardless of their budgets or α.
-type entry struct {
-	g       *graph.Graph
+// objState is the shared per-(graph, objective) precomputation: the
+// objective's binding over the graph, its bound-score ranking, and its
+// search-region cache, so many requests against one (graph, objective)
+// share the same ranking and extracted (start, radius) locality instances
+// regardless of their budgets or α. States for different objectives are
+// fully independent — their fused slabs, rankings and cached regions never
+// mix.
+type objState struct {
+	b       *objective.Binding
 	prep    *solver.Prep
-	pool    *solver.WorkspacePool
 	regions *solver.RegionCache // nil when Config.MaxRegions < 0
-	info    GraphInfo
+}
+
+// entry pairs a graph with its workspace pool — the recycled per-worker
+// scratch buffers that keep a busy serving path from allocating O(n) state
+// on every request, shared across objectives because workspaces are
+// objective-agnostic — and its per-objective states.
+type entry struct {
+	g    *graph.Graph
+	pool *solver.WorkspacePool
+
+	// objMu guards objs, the lazily grown per-objective states (keyed by
+	// canonical objective name; the default willingness state is present
+	// from construction). Lock order: s.mu (either mode) before objMu;
+	// nothing takes s.mu while holding objMu.
+	objMu sync.Mutex
+	objs  map[string]*objState
+
+	info GraphInfo
 }
 
 // Service is the in-memory graph store and solve orchestrator. All methods
@@ -188,9 +209,9 @@ func (s *Service) Close() {
 	s.exec.Close()
 }
 
-// Load stores g under id, precomputing its NodeScore ranking. The source
-// string records provenance for List. Fails with ErrExists if id is taken
-// and ErrInvalid for empty ids or empty graphs.
+// Load stores g under id, precomputing its default-objective bound-score
+// ranking. The source string records provenance for List. Fails with
+// ErrExists if id is taken and ErrInvalid for empty ids or empty graphs.
 func (s *Service) Load(id string, g *graph.Graph, source string) (GraphInfo, error) {
 	if id == "" {
 		return GraphInfo{}, fmt.Errorf("%w: empty graph id", ErrInvalid)
@@ -239,8 +260,10 @@ func (s *Service) Load(id string, g *graph.Graph, source string) (GraphInfo, err
 	return e.info, nil
 }
 
-// newEntry builds a resident entry for g: precomputed ranking, workspace
-// pool, empty region cache, and the size fields of info filled in.
+// newEntry builds a resident entry for g: workspace pool, the default
+// objective's precomputed ranking and empty region cache, and the size
+// fields of info filled in. Non-default objectives bind lazily on first
+// use (objStateFor).
 func (s *Service) newEntry(g *graph.Graph, info GraphInfo) *entry {
 	info.Nodes = g.N()
 	info.Edges = g.M()
@@ -249,14 +272,42 @@ func (s *Service) newEntry(g *graph.Graph, info GraphInfo) *entry {
 	info.ResidentBytes = g.ResidentBytes()
 	e := &entry{
 		g:    g,
-		prep: solver.NewPrep(g),
 		pool: solver.NewWorkspacePool(g),
+		objs: make(map[string]*objState, 1),
 		info: info,
 	}
-	if s.cfg.MaxRegions >= 0 {
-		e.regions = solver.NewRegionCache(g, s.cfg.MaxRegions)
+	def, err := objective.New(objective.Default)
+	if err != nil {
+		panic(fmt.Sprintf("service: default objective unregistered: %v", err))
 	}
+	e.objs[def.Name()] = s.newObjState(def, g)
 	return e
+}
+
+// newObjState builds the shared state for one objective over g: binding,
+// bound-score ranking, and (unless disabled) an empty region cache.
+func (s *Service) newObjState(obj objective.Objective, g *graph.Graph) *objState {
+	b := objective.Bind(obj, g)
+	os := &objState{b: b, prep: solver.NewPrep(b)}
+	if s.cfg.MaxRegions >= 0 {
+		os.regions = solver.NewRegionCache(b, s.cfg.MaxRegions)
+	}
+	return os
+}
+
+// objStateFor returns e's shared state for obj, binding it on first use.
+// The build — array materialization plus the O(n log n) ranking pass — runs
+// under e.objMu, so concurrent first requests for one objective do the work
+// once; once built, a state stays resident for the entry's lifetime.
+func (s *Service) objStateFor(e *entry, obj objective.Objective) *objState {
+	e.objMu.Lock()
+	defer e.objMu.Unlock()
+	os := e.objs[obj.Name()]
+	if os == nil {
+		os = s.newObjState(obj, e.g)
+		e.objs[obj.Name()] = os
+	}
+	return os
 }
 
 // admit read-locks and runs the id/cap admission checks.
@@ -387,11 +438,13 @@ func (s *Service) Evict(id string) error {
 
 // Mutate applies one batch of mutations to the stored graph: validate and
 // apply copy-on-write, append the batch to the graph's WAL, then swap in a
-// new entry whose per-graph state is updated surgically — the NodeScore
-// ranking is delta-rescored for the touched nodes only, and the region
-// cache keeps every (start, radius) entry whose k-hop ball provably
-// excludes the edit (checked by BFS distance on both the old and new
-// graph), so unrelated cached regions stay hot across mutations.
+// new entry whose per-graph state is updated surgically, objective by
+// objective — each resident objective's bound-score ranking is
+// delta-rescored for the touched nodes only, and each region cache keeps
+// every (start, radius) entry whose k-hop ball provably excludes the edit
+// (checked by BFS distance on both the old and new graph, one BFS pair
+// shared across all objectives), so unrelated cached regions stay hot
+// across mutations under every objective a client has exercised.
 //
 // ifVersion < 0 applies unconditionally; otherwise the batch applies only
 // if the graph is currently at that version (ErrConflict when not — the
@@ -400,6 +453,8 @@ func (s *Service) Evict(id string) error {
 // returns see the new graph. When the durable layer has degraded to
 // read-only, Mutate refuses with an *OverloadError transports map to
 // 503 + Retry-After.
+//
+//lint:allow ctxcheck(loops are bounded by the resident objective count and the touched-set BFS, no cancellation points)
 func (s *Service) Mutate(ctx context.Context, id string, muts []graph.Mutation, ifVersion int64) (GraphInfo, error) {
 	if len(muts) == 0 {
 		return GraphInfo{}, fmt.Errorf("%w: empty mutation batch", ErrInvalid)
@@ -446,7 +501,6 @@ func (s *Service) Mutate(ctx context.Context, id string, muts []graph.Mutation, 
 
 	ne := &entry{
 		g:    newG,
-		prep: e.prep.Rescore(newG, touched),
 		pool: solver.NewWorkspacePool(newG),
 		info: e.info,
 	}
@@ -455,24 +509,55 @@ func (s *Service) Mutate(ctx context.Context, id string, muts []graph.Mutation, 
 	ne.info.Edges = newG.M()
 	ne.info.AvgDegree = newG.AvgDegree()
 	ne.info.ResidentBytes = newG.ResidentBytes()
-	if e.regions != nil {
-		// Surgical region invalidation: a cached (start, radius) ball can
-		// only have changed if some edited node lies within radius hops of
-		// start — on the old graph (the ball as cached) or the new one (the
-		// ball as it should now be). One multi-source BFS from the touched
-		// nodes per graph answers every key's distance check.
-		maxR := e.regions.MaxRadius()
-		distOld := e.g.HopDistances(touched, maxR)
-		distNew := newG.HopDistances(touched, maxR)
-		ne.regions = e.regions.CloneFor(newG, func(start graph.NodeID, radius int) bool {
-			if d, ok := distOld[start]; ok && d <= radius {
-				return false
+
+	// Carry every resident objective's state across the mutation. A lazy
+	// bind racing this snapshot lands on the dying entry and rebuilds on
+	// next use — correct, just unamortized (and its cache counters are a
+	// bounded undercount, as with eviction).
+	e.objMu.Lock()
+	states := make(map[string]*objState, len(e.objs))
+	for name, os := range e.objs {
+		states[name] = os
+	}
+	e.objMu.Unlock()
+
+	// Surgical region invalidation: a cached (start, radius) ball can only
+	// have changed if some edited node lies within radius hops of start —
+	// on the old graph (the ball as cached) or the new one (the ball as it
+	// should now be). One multi-source BFS pair from the touched nodes, run
+	// to the deepest radius any objective has cached, answers every key's
+	// distance check for every objective.
+	maxR, anyRegions := 0, false
+	for _, os := range states {
+		if os.regions != nil {
+			anyRegions = true
+			if r := os.regions.MaxRadius(); r > maxR {
+				maxR = r
 			}
-			if d, ok := distNew[start]; ok && d <= radius {
-				return false
-			}
-			return true
-		})
+		}
+	}
+	var distOld, distNew map[graph.NodeID]int
+	if anyRegions {
+		distOld = e.g.HopDistances(touched, maxR)
+		distNew = newG.HopDistances(touched, maxR)
+	}
+	keep := func(start graph.NodeID, radius int) bool {
+		if d, ok := distOld[start]; ok && d <= radius {
+			return false
+		}
+		if d, ok := distNew[start]; ok && d <= radius {
+			return false
+		}
+		return true
+	}
+	ne.objs = make(map[string]*objState, len(states))
+	for name, os := range states {
+		nb := objective.Bind(os.b.Objective(), newG)
+		nos := &objState{b: nb, prep: os.prep.Rescore(nb, touched)}
+		if os.regions != nil {
+			nos.regions = os.regions.CloneFor(nb, keep)
+		}
+		ne.objs[name] = nos
 	}
 
 	s.mu.Lock()
@@ -546,33 +631,48 @@ func (s *Service) withDeadline(ctx context.Context) (context.Context, context.Ca
 	return ctx, func() {}
 }
 
-// withShared attaches the graph's shared per-graph state — precomputed
-// ranking, recycled workspace pool, search-region cache — and the
-// service-wide solve executor to ctx. One attachment pass serves every
-// solve dispatched on the returned context.
+// withShared attaches the graph's objective-agnostic shared state — the
+// recycled workspace pool — and the service-wide solve executor to ctx.
+// One attachment pass serves every solve dispatched on the returned
+// context; the per-objective state (ranking, region cache) is attached by
+// solveEntry once the item's objective is known.
 func (s *Service) withShared(ctx context.Context, e *entry) context.Context {
 	ctx = solver.WithExecutor(ctx, s.exec)
-	ctx = solver.WithPrep(ctx, e.prep)
 	ctx = solver.WithWorkspacePool(ctx, e.pool)
-	if e.regions != nil {
-		ctx = solver.WithRegionCache(ctx, e.regions)
-	}
 	return ctx
 }
 
+// objLabel renders a request's objective for metrics labels: the canonical
+// registered name, or "unknown" for anything unregistered, so client typos
+// cannot mint unbounded label values.
+func objLabel(name string) string {
+	if obj, err := objective.New(name); err == nil {
+		return obj.Name()
+	}
+	return "unknown"
+}
+
 // solveEntry validates and runs one (algo, req) against a resident entry
-// whose shared state is already on ctx. Every outcome updates the solve
-// instruments (see metrics.go); an unknown algorithm is labelled "unknown"
-// so client typos cannot mint unbounded label values.
+// whose shared state is already on ctx, attaching the request objective's
+// per-graph state (ranking, region cache) before dispatch. Every outcome
+// updates the solve instruments (see metrics.go); unknown algorithms and
+// objectives are labelled "unknown" so client typos cannot mint unbounded
+// label values.
 func (s *Service) solveEntry(ctx context.Context, e *entry, algo string, req core.Request) (core.Report, error) {
 	sv, err := solver.New(algo)
 	if err != nil {
-		s.met.errors.With("unknown", "invalid").Inc()
+		s.met.errors.With("unknown", objLabel(req.Objective), "invalid").Inc()
 		return core.Report{}, fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
 	algo = sv.Name() // canonical label value
+	obj, err := objective.New(req.Objective)
+	if err != nil {
+		s.met.errors.With(algo, "unknown", "invalid").Inc()
+		return core.Report{}, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	objName := obj.Name() // canonical label value
 	if err := req.Validate(); err != nil {
-		s.met.errors.With(algo, "invalid").Inc()
+		s.met.errors.With(algo, objName, "invalid").Inc()
 		return core.Report{}, fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
 	// RegionAlways is a verification mode for direct library use: it
@@ -583,10 +683,15 @@ func (s *Service) solveEntry(ctx context.Context, e *entry, algo string, req cor
 	if req.Region == core.RegionAlways {
 		req.Region = core.RegionAuto
 	}
+	os := s.objStateFor(e, obj)
+	ctx = solver.WithPrep(ctx, os.prep)
+	if os.regions != nil {
+		ctx = solver.WithRegionCache(ctx, os.regions)
+	}
 	s.met.inflight.Inc()
 	begin := time.Now()
 	rep, err := sv.Solve(ctx, e.g, req)
-	s.met.latency.With(algo).Observe(time.Since(begin).Seconds())
+	s.met.latency.With(algo, objName).Observe(time.Since(begin).Seconds())
 	s.met.inflight.Dec()
 	if errors.Is(err, solver.ErrNoGroup) {
 		// A validated request the solver still cannot answer (e.g. rgreedy
@@ -595,7 +700,7 @@ func (s *Service) solveEntry(ctx context.Context, e *entry, algo string, req cor
 		err = fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
 	if err != nil {
-		s.met.errors.With(algo, errKind(err)).Inc()
+		s.met.errors.With(algo, objName, errKind(err)).Inc()
 		return rep, err
 	}
 	s.met.samples.With(algo).Add(uint64(rep.SamplesDrawn))

@@ -47,7 +47,7 @@ func BenchmarkSolvers(b *testing.B) {
 // the service layer issues requests against a cached graph.
 func BenchmarkSolvePrepped(b *testing.B) {
 	g := benchGraph(b, 1000)
-	ctx := WithPrep(context.Background(), NewPrep(g))
+	ctx := WithPrep(context.Background(), testPrep(g))
 	r := core.DefaultRequest(10)
 	r.Samples = 50
 	r.Workers = 1
@@ -72,7 +72,7 @@ func BenchmarkSolvePrepped(b *testing.B) {
 func BenchmarkLargeGraph(b *testing.B) {
 	const n = 100_000
 	g := benchGraph(b, n)
-	prep := NewPrep(g)
+	prep := testPrep(g)
 	ctx := WithPrep(context.Background(), prep)
 	base := core.DefaultRequest(10)
 	base.Samples = 50
@@ -115,7 +115,7 @@ func BenchmarkLargeGraph(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	erCtx := WithRegionCache(WithPrep(context.Background(), NewPrep(er)), NewRegionCache(er, 0))
+	erCtx := WithRegionCache(WithPrep(context.Background(), testPrep(er)), testCache(er, 0))
 	for _, mode := range []core.RegionMode{core.RegionAuto, core.RegionOff} {
 		b.Run(fmt.Sprintf("n=%d/gen=er/k=4/cbasnd/workers=1/regions=%s", n, mode), func(b *testing.B) {
 			r := core.DefaultRequest(4)
@@ -137,7 +137,7 @@ func BenchmarkLargeGraph(b *testing.B) {
 func BenchmarkGrowth(b *testing.B) {
 	g := benchGraph(b, 1000)
 	start := PickStarts(context.Background(), g, 1)[0]
-	prep := NewPrep(g)
+	prep := testPrep(g)
 	for _, mode := range []string{"uniform", "weighted-linear", "weighted-fenwick", "greedy"} {
 		b.Run(mode, func(b *testing.B) {
 			r := core.DefaultRequest(10)
@@ -148,7 +148,7 @@ func BenchmarkGrowth(b *testing.B) {
 			}
 			ws := newWorkspace(g.N())
 			ws.configure(r, prep.topSums(10), r.Sampler == core.SamplerFenwick)
-			ws.bindGraph(graphSubstrate(g))
+			ws.bindGraph(bindingSubstrate(testBind(g)))
 			root := rng.New(7)
 			for i := 0; i < b.N; i++ {
 				stream := root.SplitN(0, uint64(i))

@@ -63,14 +63,14 @@ func TestPrepRescore(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	for trial := 0; trial < 15; trial++ {
 		g := erInstance(t, 50+rng.Intn(200), 3, uint64(500+trial))
-		p := NewPrep(g)
+		p := testPrep(g)
 		for round := 0; round < 5; round++ {
 			g2, touched := applyOrSkip(g, randomMutationBatch(rng, g))
 			if g2 == nil {
 				continue
 			}
-			got := p.Rescore(g2, touched)
-			want := NewPrep(g2)
+			got := p.Rescore(testBind(g2), touched)
+			want := testPrep(g2)
 			if got.g != g2 || got.limit != 0 {
 				t.Fatalf("trial %d round %d: rescored prep not a full prep for g2", trial, round)
 			}
@@ -99,7 +99,7 @@ func TestPrepRescore(t *testing.T) {
 // brand-new nodes into the ranking.
 func TestPrepRescoreAppends(t *testing.T) {
 	g := erInstance(t, 40, 3, 77)
-	p := NewPrep(g)
+	p := testPrep(g)
 	n := graph.NodeID(g.N())
 	g2, touched, err := g.ApplyMutations([]graph.Mutation{
 		{Op: graph.MutSetInterest, U: n, Eta: 1e6}, // new global best
@@ -109,8 +109,8 @@ func TestPrepRescoreAppends(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := p.Rescore(g2, touched)
-	want := NewPrep(g2)
+	got := p.Rescore(testBind(g2), touched)
+	want := testPrep(g2)
 	if got.ranked[0] != n || want.ranked[0] != n {
 		t.Fatalf("appended hub should rank first: got %d want %d", got.ranked[0], want.ranked[0])
 	}
@@ -128,7 +128,7 @@ func TestPrepRescorePartialPanics(t *testing.T) {
 			t.Fatal("Rescore on a partial Prep did not panic")
 		}
 	}()
-	newPartialPrep(g, 5).Rescore(g, nil)
+	newPartialPrep(testBind(g), 5).Rescore(testBind(g), nil)
 }
 
 // TestRegionCacheCloneFor pins the surgical-invalidation acceptance
@@ -152,7 +152,7 @@ func TestRegionCacheCloneFor(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	rc := NewRegionCache(g, 16)
+	rc := testCache(g, 16)
 	const radius = 3
 	if rc.Acquire(5, radius) == nil || rc.Acquire(40, radius) == nil {
 		t.Fatal("path balls should fit the cap")
@@ -183,7 +183,7 @@ func TestRegionCacheCloneFor(t *testing.T) {
 		return !ok || d > radius
 	}
 	before := rc.Stats()
-	nc := rc.CloneFor(g2, keep)
+	nc := rc.CloneFor(testBind(g2), keep)
 
 	st := nc.Stats()
 	if st.Entries != 1 {
@@ -251,7 +251,7 @@ func TestRegionCacheCloneFor(t *testing.T) {
 // drops them.
 func TestRegionCacheCloneForNegative(t *testing.T) {
 	g := erInstance(t, 64, 6, 123)
-	rc := NewRegionCache(g, 8)
+	rc := testCache(g, 8)
 	// Radius big enough that the ball blows autoRegionCap(64) = 16.
 	if rc.Acquire(0, 20) != nil {
 		t.Skip("ball unexpectedly fits the cap; pick a denser instance")
@@ -261,7 +261,7 @@ func TestRegionCacheCloneForNegative(t *testing.T) {
 	}
 
 	keepAll := func(graph.NodeID, int) bool { return true }
-	nc := rc.CloneFor(g, keepAll) // same graph, same cap: negative survives
+	nc := rc.CloneFor(testBind(g), keepAll) // same graph, same cap: negative survives
 	if st := nc.Stats(); st.Entries != 1 || st.Invalidated != 0 {
 		t.Fatalf("same-cap clone should keep the negative: %+v", st)
 	}
@@ -275,7 +275,7 @@ func TestRegionCacheCloneForNegative(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nc2 := rc.CloneFor(g2, keepAll)
+	nc2 := rc.CloneFor(testBind(g2), keepAll)
 	if st := nc2.Stats(); st.Entries != 0 || st.Invalidated != 1 {
 		t.Fatalf("cap-changing clone should drop the negative: %+v", st)
 	}

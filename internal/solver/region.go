@@ -7,6 +7,7 @@ import (
 
 	"waso/internal/core"
 	"waso/internal/graph"
+	"waso/internal/objective"
 )
 
 // Region policy: every growth from a start is confined to the (K−1)-hop
@@ -38,6 +39,21 @@ func autoRegionCap(n int) int {
 		c = regionNodeCapMax
 	}
 	return c
+}
+
+// regionCapFor returns the extraction node cap for (binding, radius): the
+// objective's planned RegionCap when it has one (clamped to n), else the
+// autoRegionCap heuristic. The plan is a pure function of graph scale and
+// K = radius+1, so the cap is stable for a (start, radius) cache key.
+func regionCapFor(b *objective.Binding, radius int) int {
+	n := b.Graph().N()
+	if plan := b.Plan(radius + 1); plan.RegionCap > 0 {
+		if plan.RegionCap < n {
+			return plan.RegionCap
+		}
+		return n
+	}
+	return autoRegionCap(n)
 }
 
 // ballFits is the shared branching estimate behind both worthwhile
@@ -91,23 +107,25 @@ func startWorthwhile(g *graph.Graph, start graph.NodeID, radius, cap int) bool {
 // (the serving path) answers repeat (start, radius) keys without
 // re-extracting; otherwise a single RegionBuilder amortizes its scratch
 // across the starts of this call.
-func planRegions(ctx context.Context, g *graph.Graph, starts []graph.NodeID, req core.Request) ([]*graph.Region, int) {
+func planRegions(ctx context.Context, b *objective.Binding, starts []graph.NodeID, req core.Request) ([]*graph.Region, int) {
+	g := b.Graph()
 	if req.Region == core.RegionOff || len(starts) == 0 {
 		return nil, g.N()
 	}
 	radius := req.K - 1
 	always := req.Region == core.RegionAlways
-	cap := autoRegionCap(g.N())
+	cap := regionCapFor(b, radius)
 	if !always && !regionWorthwhile(g, radius, cap) {
 		return nil, g.N()
 	}
-	rc := regionCacheFor(ctx, g)
+	rc := regionCacheFor(ctx, g, b.Name())
+	_, _, edge, node := b.CSR()
 	var rb *graph.RegionBuilder
 	extract := func(start graph.NodeID, cap int) *graph.Region {
 		if rb == nil {
 			rb = graph.NewRegionBuilder(g)
 		}
-		return rb.Extract(start, radius, cap)
+		return rb.Extract(start, radius, cap, edge, node)
 	}
 	regions := make([]*graph.Region, len(starts))
 	maxN, all := 0, true
@@ -169,16 +187,18 @@ type regionEntry struct {
 // regions of a 1M-node graph — far more than one start set needs.
 const DefaultRegionCacheBytes = 128 << 20
 
-// RegionCache is a bounded LRU of extracted search regions for one graph,
-// keyed by (start, radius) and limited both by entry count and by
+// RegionCache is a bounded LRU of extracted search regions for one
+// (graph, objective) binding — cached regions carry the objective's gain
+// slabs — keyed by (start, radius) and limited both by entry count and by
 // approximate resident bytes. A serving layer keeps one per resident
-// graph (alongside its Prep and WorkspacePool) and attaches it to request
+// (graph, objective) (alongside its Prep) and attaches it to request
 // contexts with WithRegionCache; concurrent Solves share entries. Safe
 // for concurrent use: lookups only touch the index mutex, while misses
 // serialize among themselves on a separate extraction mutex — a slow
 // first-touch BFS never blocks concurrent hits.
 type RegionCache struct {
-	g        *graph.Graph
+	b        *objective.Binding
+	g        *graph.Graph // b.Graph(), cached for the hot identity check
 	max      int
 	maxBytes int64
 
@@ -196,15 +216,16 @@ type RegionCache struct {
 	rb        *graph.RegionBuilder
 }
 
-// NewRegionCache returns an empty cache holding at most maxEntries regions
-// for g (DefaultRegionCacheEntries when maxEntries ≤ 0), and at most
-// DefaultRegionCacheBytes of extracted region data.
-func NewRegionCache(g *graph.Graph, maxEntries int) *RegionCache {
+// NewRegionCache returns an empty cache holding at most maxEntries
+// regions for binding b (DefaultRegionCacheEntries when maxEntries ≤ 0),
+// and at most DefaultRegionCacheBytes of extracted region data.
+func NewRegionCache(b *objective.Binding, maxEntries int) *RegionCache {
 	if maxEntries <= 0 {
 		maxEntries = DefaultRegionCacheEntries
 	}
 	return &RegionCache{
-		g:        g,
+		b:        b,
+		g:        b.Graph(),
 		max:      maxEntries,
 		maxBytes: DefaultRegionCacheBytes,
 		lru:      list.New(),
@@ -214,6 +235,10 @@ func NewRegionCache(g *graph.Graph, maxEntries int) *RegionCache {
 
 // Graph returns the graph this cache extracts regions from.
 func (rc *RegionCache) Graph() *graph.Graph { return rc.g }
+
+// Binding returns the objective binding whose gain slabs cached regions
+// carry.
+func (rc *RegionCache) Binding() *objective.Binding { return rc.b }
 
 // regionBytes approximates the resident size of one cache entry: ids,
 // offsets, scores and the fused adjacency, plus fixed bookkeeping. nil
@@ -266,7 +291,8 @@ func (rc *RegionCache) Acquire(start graph.NodeID, radius int) *graph.Region {
 	if rc.rb == nil {
 		rc.rb = graph.NewRegionBuilder(rc.g)
 	}
-	r := rc.rb.Extract(start, radius, autoRegionCap(rc.g.N()))
+	_, _, edge, node := rc.b.CSR()
+	r := rc.rb.Extract(start, radius, regionCapFor(rc.b, radius), edge, node)
 
 	rc.mu.Lock()
 	rc.byKey[key] = rc.lru.PushFront(&regionEntry{key: key, r: r})
@@ -298,34 +324,41 @@ func (rc *RegionCache) MaxRadius() int {
 	return maxR
 }
 
-// CloneFor builds the successor cache for a mutated graph, retaining every
-// entry keep reports unaffected — the surgical-invalidation primitive. A
-// retained *graph.Region is shared, not copied: regions are self-contained
-// CSR snapshots, and an entry whose ≤radius ball no mutation touched is
-// identical on both graphs. Entries keep rejects, and cached negatives
-// whose auto cap changed with the node count (their "ball exceeds the cap"
-// verdict may no longer hold), are dropped and counted as invalidations.
+// CloneFor builds the successor cache for the same objective bound to a
+// mutated graph, retaining every entry keep reports unaffected — the
+// surgical-invalidation primitive. A retained *graph.Region is shared,
+// not copied: regions are self-contained CSR snapshots, and an entry
+// whose ≤radius ball no mutation touched carries identical topology and
+// gain slabs on both bindings (fused-additive gains depend only on the
+// ball's own η/τ). Entries keep rejects, and cached negatives whose
+// extraction cap changed with the node count (their "ball exceeds the
+// cap" verdict may no longer hold), are dropped and counted as
+// invalidations.
 //
 // The old cache is left untouched and stays valid for in-flight solves
 // against the old graph — a new cache object (rather than rehosting in
 // place) is what keeps the swap race-free: regionCacheFor's pointer check
 // simply fails one side or the other, never mixing graphs. Counters carry
 // over so serving metrics stay monotone across mutations.
-func (rc *RegionCache) CloneFor(newG *graph.Graph, keep func(start graph.NodeID, radius int) bool) *RegionCache {
+func (rc *RegionCache) CloneFor(newB *objective.Binding, keep func(start graph.NodeID, radius int) bool) *RegionCache {
+	if newB.Name() != rc.b.Name() {
+		panic("solver: RegionCache.CloneFor across objectives (" + rc.b.Name() + " -> " + newB.Name() + ")")
+	}
 	nc := &RegionCache{
-		g:        newG,
+		b:        newB,
+		g:        newB.Graph(),
 		max:      rc.max,
 		maxBytes: rc.maxBytes,
 		lru:      list.New(),
 		byKey:    make(map[regionKey]*list.Element),
 	}
-	capChanged := autoRegionCap(newG.N()) != autoRegionCap(rc.g.N())
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	nc.hits, nc.misses, nc.negHits = rc.hits, rc.misses, rc.negHits
 	nc.evictions, nc.invalidated = rc.evictions, rc.invalidated
 	for el := rc.lru.Front(); el != nil; el = el.Next() {
 		e := el.Value.(*regionEntry)
+		capChanged := regionCapFor(newB, e.key.radius) != regionCapFor(rc.b, e.key.radius)
 		if (e.r == nil && capChanged) || !keep(e.key.start, e.key.radius) {
 			nc.invalidated++
 			continue
@@ -372,16 +405,17 @@ func (rc *RegionCache) Stats() RegionCacheStats {
 type regionCacheCtxKey struct{}
 
 // WithRegionCache returns a context carrying rc. A Solve whose context
-// carries a cache for the same graph fetches per-start regions from it
-// instead of extracting fresh ones — the mechanism the service layer uses
-// to amortize extraction across requests.
+// carries a cache for the same (graph, objective) fetches per-start
+// regions from it instead of extracting fresh ones — the mechanism the
+// service layer uses to amortize extraction across requests.
 func WithRegionCache(ctx context.Context, rc *RegionCache) context.Context {
 	return context.WithValue(ctx, regionCacheCtxKey{}, rc)
 }
 
-// regionCacheFor returns the context's cache when it matches g, else nil.
-func regionCacheFor(ctx context.Context, g *graph.Graph) *RegionCache {
-	if rc, ok := ctx.Value(regionCacheCtxKey{}).(*RegionCache); ok && rc != nil && rc.g == g {
+// regionCacheFor returns the context's cache when it matches (g, objName),
+// else nil.
+func regionCacheFor(ctx context.Context, g *graph.Graph, objName string) *RegionCache {
+	if rc, ok := ctx.Value(regionCacheCtxKey{}).(*RegionCache); ok && rc != nil && rc.g == g && rc.b.Name() == objName {
 		return rc
 	}
 	return nil

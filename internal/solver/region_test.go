@@ -8,6 +8,7 @@ import (
 	"waso/internal/core"
 	"waso/internal/gen"
 	"waso/internal/graph"
+	"waso/internal/objective"
 )
 
 // erInstance builds a sparse Erdős–Rényi graph: low average degree keeps
@@ -24,57 +25,65 @@ func erInstance(t testing.TB, n int, avgDeg float64, seed uint64) *graph.Graph {
 	return g
 }
 
-// TestRegionEquivalence is the property the tentpole stands on: for every
-// solver, Report.Best (node set AND willingness bits) and SamplesDrawn are
-// identical between region mode and whole-graph mode, across 20 seeds and
-// workers ∈ {1, 4}. Graph shapes alternate between sparse ER (balls ≪
-// component: real remapping, fragmented components, isolated starts) and
-// power-law (balls = component), and k alternates so radii vary.
+// TestRegionEquivalence is the property the tentpole stands on, checked per
+// registered objective: for every solver, Report.Best (node set AND
+// willingness bits) and SamplesDrawn are identical between region mode and
+// whole-graph mode, across 20 seeds and workers ∈ {1, 4}. Graph shapes
+// alternate between sparse ER (balls ≪ component: real remapping,
+// fragmented components, isolated starts) and power-law (balls =
+// component), and k alternates so radii vary. Region extraction copies an
+// objective's fused slabs into the compact instance, so a per-objective
+// run is the only thing that catches a slab/remap mismatch.
 func TestRegionEquivalence(t *testing.T) {
 	prev := runtime.GOMAXPROCS(4)
 	defer runtime.GOMAXPROCS(prev)
 	ctx := context.Background()
 
 	const seeds = 20
-	for _, s := range All() {
-		for seed := uint64(0); seed < seeds; seed++ {
-			var g *graph.Graph
-			if seed%2 == 0 {
-				g = erInstance(t, 400, 2.5, 300+seed)
-			} else {
-				g = powerlawInstance(t, 400, 300+seed)
+	for _, objName := range objective.Names() {
+		t.Run(objName, func(t *testing.T) {
+			for _, s := range All() {
+				for seed := uint64(0); seed < seeds; seed++ {
+					var g *graph.Graph
+					if seed%2 == 0 {
+						g = erInstance(t, 400, 2.5, 300+seed)
+					} else {
+						g = powerlawInstance(t, 400, 300+seed)
+					}
+					k := 4 + int(seed%2)*4 // k ∈ {4, 8} → radius ∈ {3, 7}
+					base := req(k, func(r *core.Request) {
+						r.Samples = 25
+						r.Starts = 6
+						r.Seed = seed
+						r.Region = core.RegionOff
+						r.Objective = objName
+					})
+					for _, workers := range []int{1, 4} {
+						off := base
+						off.Workers = workers
+						want, err := s.Solve(ctx, g, off)
+						if err != nil {
+							t.Fatalf("%s seed=%d workers=%d region=off: %v", s.Name(), seed, workers, err)
+						}
+						on := base
+						on.Workers = workers
+						on.Region = core.RegionAlways
+						got, err := s.Solve(ctx, g, on)
+						if err != nil {
+							t.Fatalf("%s seed=%d workers=%d region=always: %v", s.Name(), seed, workers, err)
+						}
+						if !got.Best.Equal(want.Best) || got.Best.Willingness != want.Best.Willingness {
+							t.Errorf("%s seed=%d workers=%d: region best %v != whole-graph best %v",
+								s.Name(), seed, workers, got.Best, want.Best)
+						}
+						if got.SamplesDrawn != want.SamplesDrawn {
+							t.Errorf("%s seed=%d workers=%d: region drew %d samples, whole-graph drew %d",
+								s.Name(), seed, workers, got.SamplesDrawn, want.SamplesDrawn)
+						}
+					}
+				}
 			}
-			k := 4 + int(seed%2)*4 // k ∈ {4, 8} → radius ∈ {3, 7}
-			base := req(k, func(r *core.Request) {
-				r.Samples = 25
-				r.Starts = 6
-				r.Seed = seed
-				r.Region = core.RegionOff
-			})
-			for _, workers := range []int{1, 4} {
-				off := base
-				off.Workers = workers
-				want, err := s.Solve(ctx, g, off)
-				if err != nil {
-					t.Fatalf("%s seed=%d workers=%d region=off: %v", s.Name(), seed, workers, err)
-				}
-				on := base
-				on.Workers = workers
-				on.Region = core.RegionAlways
-				got, err := s.Solve(ctx, g, on)
-				if err != nil {
-					t.Fatalf("%s seed=%d workers=%d region=always: %v", s.Name(), seed, workers, err)
-				}
-				if !got.Best.Equal(want.Best) || got.Best.Willingness != want.Best.Willingness {
-					t.Errorf("%s seed=%d workers=%d: region best %v != whole-graph best %v",
-						s.Name(), seed, workers, got.Best, want.Best)
-				}
-				if got.SamplesDrawn != want.SamplesDrawn {
-					t.Errorf("%s seed=%d workers=%d: region drew %d samples, whole-graph drew %d",
-						s.Name(), seed, workers, got.SamplesDrawn, want.SamplesDrawn)
-				}
-			}
-		}
+		})
 	}
 }
 
@@ -121,7 +130,7 @@ func TestRegionAutoParity(t *testing.T) {
 func TestRegionCacheSolve(t *testing.T) {
 	ctx := context.Background()
 	g := erInstance(t, 600, 2, 21)
-	rc := NewRegionCache(g, 0)
+	rc := testCache(g, 0)
 	cached := WithRegionCache(ctx, rc)
 	for round := 0; round < 3; round++ {
 		for _, alpha := range []float64{1, 3} {
@@ -171,7 +180,7 @@ func TestRegionCacheSolve(t *testing.T) {
 // evicting least-recently-used keys, and caches negative results.
 func TestRegionCacheLRU(t *testing.T) {
 	g := erInstance(t, 200, 2, 31)
-	rc := NewRegionCache(g, 2)
+	rc := testCache(g, 2)
 	a := rc.Acquire(0, 2)
 	rc.Acquire(1, 2)
 	if st := rc.Stats(); st.Entries != 2 {
@@ -201,7 +210,7 @@ func TestRegionCacheLRU(t *testing.T) {
 
 	// Byte budget: a cache whose resident regions exceed its byte bound
 	// evicts LRU entries even when the entry cap has room.
-	rcBytes := NewRegionCache(g, 100)
+	rcBytes := testCache(g, 100)
 	rcBytes.maxBytes = 1 // any real region busts it
 	rcBytes.Acquire(0, 2)
 	rcBytes.Acquire(1, 2)
@@ -211,7 +220,7 @@ func TestRegionCacheLRU(t *testing.T) {
 
 	// Negative caching: a ball over the auto cap is remembered as nil.
 	dense := powerlawInstance(t, 200, 32)
-	rcDense := NewRegionCache(dense, 4)
+	rcDense := testCache(dense, 4)
 	if r := rcDense.Acquire(0, 10); r != nil {
 		t.Fatalf("10-hop ball on a 200-node power-law graph fit cap %d?", autoRegionCap(dense.N()))
 	}
@@ -229,7 +238,7 @@ func TestRegionCacheLRU(t *testing.T) {
 func TestRegionCacheConcurrent(t *testing.T) {
 	ctx := context.Background()
 	g := erInstance(t, 400, 2, 41)
-	rc := NewRegionCache(g, 8)
+	rc := testCache(g, 8)
 	cached := WithRegionCache(ctx, rc)
 	r := req(4, func(r *core.Request) { r.Samples = 10; r.Seed = 2 })
 	want, err := (CBAS{}).Solve(ctx, g, r)
@@ -263,9 +272,9 @@ func TestPartialPrep(t *testing.T) {
 		} else {
 			g = erInstance(t, 257, 4, 500+seed)
 		}
-		full := NewPrep(g)
+		full := testPrep(g)
 		for _, tt := range []int{1, 2, 7, 64, g.N(), g.N() + 10} {
-			partial := newPartialPrep(g, tt)
+			partial := newPartialPrep(testBind(g), tt)
 			want := full.Starts(tt)
 			got := partial.Starts(min(tt, g.N()))
 			if len(got) != len(want) {

@@ -5,18 +5,29 @@
 //   - RGreedy — randomized greedy that picks frontier nodes proportionally
 //     to the willingness of the resulting group (baseline, §5);
 //   - CBAS — uniform frontier sampling with the paper's pruning bound
-//     (§3.1): phase 1 ranks start nodes by NodeScore, phase 2 draws random
-//     connected k-node groups and keeps the best;
+//     (§3.1): phase 1 ranks start nodes by their bound score, phase 2 draws
+//     random connected k-node groups and keeps the best;
 //   - CBASND — CBAS with non-uniform adapted probabilities (§3.2): frontier
-//     nodes are drawn proportionally to ΔW(v|S)^α, steering samples toward
-//     high-willingness groups while retaining exploration.
+//     nodes are drawn proportionally to Δ(v|S)^α, steering samples toward
+//     high-gain groups while retaining exploration.
 //
 // Solvers are looked up by name through a registry (Register/New/Names);
 // the four built-ins self-register, and external packages can plug in
 // additional algorithms without touching this package.
 //
+// What the search maximizes is pluggable: Request.Objective names an
+// internal/objective implementation (default "willingness", the paper's
+// Eq. 1), which supplies the fused per-node and per-entry gain arrays the
+// growth loops consume, the §3.1-style admissible bound behind the
+// pruning table, and optionally a scale-adaptive budget plan
+// (objective.Plan) that overrides Starts/Samples and the region cap —
+// surfaced on Report.Policy. All driver invariants below hold per
+// objective, and the willingness objective aliases the graph's own fused
+// arrays, so solving it through the seam is bit-identical to the
+// pre-seam solver.
+//
 // Every solver runs the same deterministic multi-start driver. The top
-// Request.Starts nodes by NodeScore each get an independent search, and the
+// Request.Starts nodes by bound score each get an independent search, and the
 // sample budget is decomposed into (start, sample-chunk) tasks fed to a
 // worker pool, so cores stay busy even when starts < workers or one start
 // dominates the work. Every random draw derives from rng.Split sub-streams
@@ -38,7 +49,7 @@
 // Solve is context-aware: cancellation and deadlines are observed between
 // tasks and between samples, and a cancelled Solve returns ctx.Err()
 // without leaking goroutines. Long-lived callers that solve many requests
-// against the same graph can precompute the NodeScore ranking once with
+// against the same (graph, objective) can precompute the ranking once with
 // NewPrep and attach it via WithPrep — Solve picks it up from the context
 // and skips the per-call ranking pass — and can recycle per-worker scratch
 // buffers across calls with a WorkspacePool attached via
@@ -68,6 +79,7 @@ import (
 
 	"waso/internal/core"
 	"waso/internal/graph"
+	"waso/internal/objective"
 	"waso/internal/rng"
 )
 
@@ -147,11 +159,12 @@ func All() []Solver {
 // ---------------------------------------------------------------------------
 // Precomputation
 
-// Prep is the graph-dependent precomputation every Solve needs: the
-// descending NodeScore ranking (CBAS phase 1) and its score prefix sums.
-// It is immutable after construction and safe to share across concurrent
-// Solve calls, so a serving layer computes it once per graph and attaches
-// it to request contexts with WithPrep.
+// Prep is the (graph, objective)-dependent precomputation every Solve
+// needs: the descending bound-score ranking (CBAS phase 1) and its score
+// prefix sums, over an objective.Binding. It is immutable after
+// construction and safe to share across concurrent Solve calls, so a
+// serving layer computes it once per (graph, objective) and attaches it
+// to request contexts with WithPrep.
 //
 // NewPrep ranks every node (O(n log n)) — the resident, serve-any-request
 // form. A Solve whose context carries no Prep no longer pays that sort:
@@ -160,24 +173,27 @@ func All() []Solver {
 // solves on million-node graphs cheap (the full sort dominated the old
 // unprepped profile).
 type Prep struct {
-	g      *graph.Graph
-	ranked []graph.NodeID // node ids by NodeScore descending, id ascending
-	scores []float64      // scores[r] = NodeScore of ranked[r] (full preps only)
-	prefix []float64      // prefix[r] = sum of the r largest NodeScores
+	b      *objective.Binding
+	g      *graph.Graph   // b.Graph(), cached for the hot identity checks
+	ranked []graph.NodeID // node ids by bound score descending, id ascending
+	scores []float64      // scores[r] = bound score of ranked[r] (full preps only)
+	prefix []float64      // prefix[r] = sum of the r largest bound scores
 	limit  int            // 0 = full ranking; else only the top limit nodes are valid
 }
 
-// NewPrep ranks every node of g by NodeScore. O(n log n + m). A resident
-// Prep retains the ranking, the ranked score sequence (so Rescore can
-// delta-update after a graph mutation without re-scoring every node), and
-// the prefix sums of that sequence, so topSums for any k is a
-// zero-allocation slice of precomputed storage.
-func NewPrep(g *graph.Graph) *Prep {
+// NewPrep ranks every node of the binding's graph by the objective's
+// bound score. O(n log n + m). A resident Prep retains the ranking, the
+// ranked score sequence (so Rescore can delta-update after a graph
+// mutation without re-scoring every node), and the prefix sums of that
+// sequence, so topSums for any k is a zero-allocation slice of
+// precomputed storage.
+func NewPrep(b *objective.Binding) *Prep {
+	g := b.Graph()
 	n := g.N()
 	scores := make([]float64, n)
-	p := &Prep{g: g, ranked: make([]graph.NodeID, n)}
+	p := &Prep{b: b, g: g, ranked: make([]graph.NodeID, n)}
 	for i := range scores {
-		scores[i] = g.NodeScore(graph.NodeID(i))
+		scores[i] = b.Score(graph.NodeID(i))
 		p.ranked[i] = graph.NodeID(i)
 	}
 	slices.SortFunc(p.ranked, func(a, b graph.NodeID) int {
@@ -198,20 +214,31 @@ func NewPrep(g *graph.Graph) *Prep {
 	return p
 }
 
-// Rescore delta-updates a full Prep across a graph mutation: touched is
-// the mutation's touched-node set (every node whose NodeScore may have
-// changed, including appended nodes — graph.ApplyMutations returns exactly
-// this). Untouched entries keep their retained score bits and relative
-// order; touched nodes are re-scored on newG and merged back in. Because
-// (score descending, id ascending) is a strict total order and the prefix
-// sums are re-accumulated left-to-right in ranked order, the result is
-// bit-identical to NewPrep(newG) at O(n + t·deg + t log t) instead of a
-// full O(n log n + m) re-rank. Panics on a partial Prep — only resident
-// full preps are ever delta-updated.
-func (p *Prep) Rescore(newG *graph.Graph, touched []graph.NodeID) *Prep {
+// Rescore delta-updates a full Prep across a graph mutation: newB is the
+// same objective bound to the mutated graph, touched the mutation's
+// touched-node set (every node whose bound score may have changed,
+// including appended nodes — graph.ApplyMutations returns exactly this).
+// Untouched entries keep their retained score bits and relative order;
+// touched nodes are re-scored on the new binding and merged back in.
+// Because (score descending, id ascending) is a strict total order and
+// the prefix sums are re-accumulated left-to-right in ranked order, the
+// result is bit-identical to NewPrep(newB) at O(n + t·deg + t log t)
+// instead of a full O(n log n + m) re-rank. Panics on a partial Prep
+// (only resident full preps are ever delta-updated) or on an objective
+// mismatch.
+//
+// Note the bit-identity claim requires the objective's untouched bound
+// scores to be unchanged by the mutation — true for any objective whose
+// per-node arrays depend only on that node's own η and incident τ, which
+// the fused-additive contract implies.
+func (p *Prep) Rescore(newB *objective.Binding, touched []graph.NodeID) *Prep {
 	if p.limit != 0 {
 		panic("solver: Rescore on a partial Prep")
 	}
+	if newB.Name() != p.b.Name() {
+		panic("solver: Rescore across objectives (" + p.b.Name() + " -> " + newB.Name() + ")")
+	}
+	newG := newB.Graph()
 	n2 := newG.N()
 	mark := make([]bool, n2)
 	type cand struct {
@@ -224,7 +251,7 @@ func (p *Prep) Rescore(newG *graph.Graph, touched []graph.NodeID) *Prep {
 			continue
 		}
 		mark[v] = true
-		fresh = append(fresh, cand{score: newG.NodeScore(v), id: v})
+		fresh = append(fresh, cand{score: newB.Score(v), id: v})
 	}
 	slices.SortFunc(fresh, func(a, b cand) int {
 		if a.score != b.score {
@@ -236,6 +263,7 @@ func (p *Prep) Rescore(newG *graph.Graph, touched []graph.NodeID) *Prep {
 		return int(a.id - b.id)
 	})
 	np := &Prep{
+		b:      newB,
 		g:      newG,
 		ranked: make([]graph.NodeID, 0, n2),
 		scores: make([]float64, 0, n2),
@@ -278,13 +306,14 @@ func (p *Prep) Rescore(newG *graph.Graph, touched []graph.NodeID) *Prep {
 	}
 }
 
-// newPartialPrep ranks only the top t nodes by (NodeScore descending, id
-// ascending): a single O(n + m) scoring pass feeding a size-t min-heap,
-// then one small sort — no n-sized scratch, no full sort. The result is
-// bit-identical to NewPrep's first t ranked entries and prefix sums, and
-// is only valid for requests with max(K, Starts) ≤ t (enforced by the
-// topSums/Starts guards); it is never shared through WithPrep.
-func newPartialPrep(g *graph.Graph, t int) *Prep {
+// newPartialPrep ranks only the top t nodes by (bound score descending,
+// id ascending): a single O(n + m) scoring pass feeding a size-t
+// min-heap, then one small sort — no n-sized scratch, no full sort. The
+// result is bit-identical to NewPrep's first t ranked entries and prefix
+// sums, and is only valid for requests with max(K, Starts) ≤ t (enforced
+// by the topSums/Starts guards); it is never shared through WithPrep.
+func newPartialPrep(b *objective.Binding, t int) *Prep {
+	g := b.Graph()
 	n := g.N()
 	if t > n {
 		t = n
@@ -321,7 +350,7 @@ func newPartialPrep(g *graph.Graph, t int) *Prep {
 		}
 	}
 	for i := 0; i < n && t > 0; i++ {
-		c := cand{score: g.NodeScore(graph.NodeID(i)), id: graph.NodeID(i)}
+		c := cand{score: b.Score(graph.NodeID(i)), id: graph.NodeID(i)}
 		if len(h) < t {
 			h = append(h, c)
 			for j := len(h) - 1; j > 0; {
@@ -345,7 +374,7 @@ func newPartialPrep(g *graph.Graph, t int) *Prep {
 		}
 		return 1
 	})
-	p := &Prep{g: g, limit: t, ranked: make([]graph.NodeID, len(h)), prefix: make([]float64, len(h)+1)}
+	p := &Prep{b: b, g: g, limit: t, ranked: make([]graph.NodeID, len(h)), prefix: make([]float64, len(h)+1)}
 	if t == 0 {
 		p.limit = 1 // an empty partial prep still answers Starts(0)/topSums(0)
 	}
@@ -359,6 +388,9 @@ func newPartialPrep(g *graph.Graph, t int) *Prep {
 // Graph returns the graph this Prep was built for.
 func (p *Prep) Graph() *graph.Graph { return p.g }
 
+// Binding returns the objective binding this Prep ranks.
+func (p *Prep) Binding() *objective.Binding { return p.b }
+
 // Starts returns the s best start candidates per CBAS phase 1 (§3.1),
 // capped at n. The slice aliases internal storage; do not modify.
 func (p *Prep) Starts(s int) []graph.NodeID {
@@ -371,7 +403,7 @@ func (p *Prep) Starts(s int) []graph.NodeID {
 	return p.ranked[:s]
 }
 
-// topSums returns prefix sums of the descending NodeScore ranking:
+// topSums returns prefix sums of the descending bound-score ranking:
 // topSum[r] = the largest possible total score of r distinct nodes. The
 // pruning bound charges each remaining addition its own node's score, so
 // no completion can gain more than topSum[k−|S|]. The slice aliases the
@@ -396,44 +428,51 @@ func (p *Prep) topSums(k int) []float64 {
 type prepCtxKey struct{}
 
 // WithPrep returns a context carrying p. A Solve whose context carries a
-// Prep for the same graph skips its own NodeScore ranking pass — the
+// Prep for the same (graph, objective) skips its own ranking pass — the
 // mechanism the service layer uses to share one ranking across requests.
 func WithPrep(ctx context.Context, p *Prep) context.Context {
 	return context.WithValue(ctx, prepCtxKey{}, p)
 }
 
-// ctxPrep returns the context's (full) Prep when it matches g.
-func ctxPrep(ctx context.Context, g *graph.Graph) (*Prep, bool) {
+// ctxPrep returns the context's (full) Prep when it matches (g, objName).
+func ctxPrep(ctx context.Context, g *graph.Graph, objName string) (*Prep, bool) {
 	p, ok := ctx.Value(prepCtxKey{}).(*Prep)
-	if ok && p != nil && p.g == g && p.limit == 0 {
+	if ok && p != nil && p.g == g && p.limit == 0 && p.b.Name() == objName {
 		return p, true
 	}
 	return nil, false
 }
 
-// prepFor returns the context's Prep when it matches g, else builds a
-// partial one just deep enough for the request — the per-call path avoids
-// the full O(n log n) ranking entirely.
-func prepFor(ctx context.Context, g *graph.Graph, req core.Request) *Prep {
-	if p, ok := ctxPrep(ctx, g); ok {
+// prepFor returns the context's Prep when it matches (g, obj), else binds
+// the objective and builds a partial Prep just deep enough for the
+// request — the per-call path avoids the full O(n log n) ranking
+// entirely (though a non-aliasing objective still pays its O(n + m)
+// Arrays pass).
+func prepFor(ctx context.Context, g *graph.Graph, obj objective.Objective, req core.Request) *Prep {
+	if p, ok := ctxPrep(ctx, g, obj.Name()); ok {
 		return p
 	}
-	return newPartialPrep(g, max(req.K, req.Starts))
+	return newPartialPrep(objective.Bind(obj, g), max(req.K, req.Starts))
 }
 
-// PickStarts returns the s best start candidates: nodes ranked by
-// NodeScore descending (ties broken by ascending id), per CBAS phase 1
-// (§3.1). A context carrying a Prep for g (WithPrep) answers from the
-// resident ranking; otherwise only the top s nodes are selected — no
-// full-graph sort, no throwaway Prep. The result is a copy the caller may
-// keep; internal callers read Prep.Starts directly and copy nothing.
+// PickStarts returns the s best start candidates under the default
+// willingness objective: nodes ranked by bound score descending (ties
+// broken by ascending id), per CBAS phase 1 (§3.1). A context carrying a
+// willingness Prep for g (WithPrep) answers from the resident ranking;
+// otherwise only the top s nodes are selected — no full-graph sort, no
+// throwaway Prep. The result is a copy the caller may keep; internal
+// callers read Prep.Starts directly and copy nothing.
 //
 //lint:allow ctxcheck(single bounded O(n + s log s) ranking pass with no cancellation points)
 func PickStarts(ctx context.Context, g *graph.Graph, s int) []graph.NodeID {
-	if p, ok := ctxPrep(ctx, g); ok {
+	if p, ok := ctxPrep(ctx, g, objective.Default); ok {
 		return append([]graph.NodeID(nil), p.Starts(s)...)
 	}
-	return append([]graph.NodeID(nil), newPartialPrep(g, s).Starts(s)...)
+	obj, err := objective.New(objective.Default)
+	if err != nil {
+		panic("solver: default objective not registered: " + err.Error())
+	}
+	return append([]graph.NodeID(nil), newPartialPrep(objective.Bind(obj, g), s).Starts(s)...)
 }
 
 // ---------------------------------------------------------------------------
@@ -530,11 +569,30 @@ func multiStart(ctx context.Context, name string, g *graph.Graph, req core.Reque
 	if err := ctx.Err(); err != nil {
 		return core.Report{}, err
 	}
-	// One NodeScore ranking feeds both start selection and the pruning
+	// Resolve the objective and let it plan the search budget from the
+	// instance scale before anything is sized off the request: Plan is a
+	// pure function of (graph scale, K), so the override is deterministic,
+	// worker-independent, and identical across solvers — which keeps the
+	// greedy-warm CBASND ≥ DGreedy guarantee intact per objective.
+	obj, err := objective.New(req.Objective)
+	if err != nil {
+		return core.Report{}, fmt.Errorf("solver: %s: %w", name, err)
+	}
+	plan := obj.Plan(objective.Scale{N: g.N(), M: g.M(), AvgDeg: g.AvgDegree(), K: req.K})
+	if plan.Starts > 0 {
+		req.Starts = plan.Starts
+	}
+	if plan.Samples > 0 && budget > 0 {
+		// Deterministic solvers (budget 0) take no samples regardless of
+		// plan; zero-budget requests keep their explicit ErrNoGroup path.
+		budget = plan.Samples
+	}
+	// One bound-score ranking feeds both start selection and the pruning
 	// bound; workers share the read-only topSum slice. A context-attached
 	// Prep (WithPrep) makes this pass free; without one, a partial Prep
 	// ranks only the top max(K, Starts) nodes.
-	prep := prepFor(ctx, g, req)
+	prep := prepFor(ctx, g, obj, req)
+	b := prep.b
 	starts := prep.Starts(req.Starts)
 	topSum := prep.topSums(req.K)
 	// The sampler backend is decided once from whole-graph statistics so
@@ -549,8 +607,8 @@ func multiStart(ctx context.Context, name string, g *graph.Graph, req core.Reque
 	// are nil for starts whose ball exceeded the extraction cap (those
 	// tasks run on the whole graph). wsCap sizes fresh worker workspaces:
 	// O(max region) when every start has a region, O(n) otherwise.
-	regions, wsCap := planRegions(ctx, g, starts, req)
-	global := graphSubstrate(g)
+	regions, wsCap := planRegions(ctx, b, starts, req)
+	global := bindingSubstrate(b)
 
 	// Budget decomposition. Greedy warm starts are their own tasks, emitted
 	// ahead of every sampling chunk: they are cheap, they are candidate
@@ -710,7 +768,7 @@ func multiStart(ctx context.Context, name string, g *graph.Graph, req core.Reque
 		return core.Report{}, err
 	}
 
-	rep := core.Report{Algo: name, Starts: len(starts)}
+	rep := core.Report{Algo: name, Starts: len(starts), Policy: plan.Policy}
 	best := core.Solution{Willingness: math.Inf(-1)}
 	for _, oc := range outcomes {
 		rep.SamplesDrawn += oc.samples

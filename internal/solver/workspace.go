@@ -7,20 +7,23 @@ import (
 	"waso/internal/bitset"
 	"waso/internal/core"
 	"waso/internal/graph"
+	"waso/internal/objective"
 	"waso/internal/rng"
 	"waso/internal/sampling"
 )
 
 // substrate is the uniform fused-CSR view a workspace grows over: either a
-// whole graph (FusedCSR, zero-copy aliases) or one start's compact
-// graph.Region. Growth code indexes only these four arrays, so switching a
-// worker between a region task and a whole-graph task is four slice-header
-// assignments.
+// whole graph under one objective (an objective.Binding, zero-copy
+// aliases) or one start's compact graph.Region. Growth code indexes only
+// these four arrays — the objective's semantics are entirely baked into
+// the two gain slabs, so the hot loops stay interface-call-free — and
+// switching a worker between a region task and a whole-graph task is four
+// slice-header assignments.
 type substrate struct {
 	off []int64
 	nbr []graph.NodeID
-	w   []float64 // fused τ_out+τ_in per adjacency entry
-	eta []float64
+	w   []float64 // fused per-entry gain (τ_out+τ_in for willingness)
+	eta []float64 // per-node gain (η for willingness)
 }
 
 // neighbors returns the sorted adjacency of v.
@@ -34,9 +37,10 @@ func (s substrate) edges(v graph.NodeID) ([]graph.NodeID, []float64) {
 	return s.nbr[lo:hi], s.w[lo:hi]
 }
 
-// graphSubstrate is the whole-graph view.
-func graphSubstrate(g *graph.Graph) substrate {
-	off, nbr, w, eta := g.FusedCSR()
+// bindingSubstrate is the whole-graph view under one objective: topology
+// from the graph, gains from the binding's fused arrays.
+func bindingSubstrate(b *objective.Binding) substrate {
+	off, nbr, w, eta := b.CSR()
 	return substrate{off: off, nbr: nbr, w: w, eta: eta}
 }
 
@@ -61,7 +65,7 @@ type workspace struct {
 	toGlobal []graph.NodeID // region local→global ids; nil on the whole graph
 
 	k      int
-	topSum []float64  // topSum[r] = sum of the r largest NodeScores in V
+	topSum []float64  // topSum[r] = sum of the r largest bound scores in V
 	inc    *incumbent // shared cross-start lower bound for pruning
 
 	inSet   *bitset.Set    // membership of the growing group
@@ -177,9 +181,11 @@ func (ws *workspace) reset() {
 	ws.will = 0
 }
 
-// deltaOf computes ΔW(v | set) = η_v + Σ_{u∈set∩N(v)} (τ_{v,u} + τ_{u,v})
-// with a direct fused-adjacency scan — the hot path of every solver. One
-// float64 read per neighbor instead of the two the unfused layout paid.
+// deltaOf computes the objective's marginal gain Δ(v | set) — for
+// willingness, η_v + Σ_{u∈set∩N(v)} (τ_{v,u} + τ_{u,v}) — with a direct
+// fused-adjacency scan — the hot path of every solver. One float64 read
+// per neighbor, no interface calls: the objective's semantics live in the
+// bound slabs.
 func (ws *workspace) deltaOf(v graph.NodeID) float64 {
 	d := ws.sub.eta[v]
 	nbrs, w := ws.sub.edges(v)
@@ -208,8 +214,9 @@ func (ws *workspace) snapshot() core.Solution {
 }
 
 // upperBound is the pruning bound of §3.1: adding v to any group gains at
-// most NodeScore(v), so no completion of the current partial group can
-// exceed W(S) plus the sum of the k−|S| largest node scores.
+// most the objective's Bound(v), so no completion of the current partial
+// group can exceed the current value plus the sum of the k−|S| largest
+// bound scores.
 func (ws *workspace) upperBound() float64 {
 	r := ws.k - len(ws.set)
 	if r >= len(ws.topSum) {
